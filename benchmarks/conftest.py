@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks reproduce the paper's tables and figures at the scale selected by
+``REPRO_SCALE`` (smoke / default / paper — see
+:mod:`repro.experiments.config`).  Worlds are built once per session and
+shared across benchmark modules; each benchmark prints the table it
+regenerates so ``pytest benchmarks/ --benchmark-only`` output doubles as the
+experiment report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import active_profile
+from repro.experiments.datasets import get_world, medium_world_spec
+
+
+def pytest_report_header(config):
+    profile = active_profile()
+    return (
+        f"PDR reproduction benchmarks — scale profile: {profile.name} "
+        f"(sizes {profile.sizes}, {profile.n_queries} queries/config); "
+        "set REPRO_SCALE=smoke|default|paper to change"
+    )
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def medium_world(profile):
+    """The shared medium-size world (the paper's CH100K slot)."""
+    return get_world(medium_world_spec(profile), profile.raster_resolution)

@@ -1,0 +1,63 @@
+"""Figure 10 — total query cost: PA vs the exact FR method.
+
+Shape checks (paper):
+* 10(a) — PA is at least an order of magnitude cheaper than FR across the
+  threshold sweep (FR pays a TPR-tree range query per candidate cell);
+* 10(b) — FR's cost grows with the dataset size while PA's stays flat
+  (polynomial evaluation depends on coefficients, not objects).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_cost import run_fig10a, run_fig10b
+from repro.experiments.report import format_table
+
+
+def test_fig10a_cost_vs_threshold(profile, medium_world, benchmark, capsys):
+    rows = benchmark.pedantic(
+        run_fig10a, args=(profile, medium_world), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                title=(
+                    "Figure 10(a) — total query cost (s; CPU + 10 ms/page I/O) "
+                    "vs relative threshold"
+                ),
+            )
+        )
+    # PA beats FR by at least an order of magnitude on every configuration.
+    for row in rows:
+        assert row["speedup"] > 10.0
+
+
+def test_fig10b_cost_vs_dataset_size(profile, benchmark, capsys):
+    rows = benchmark.pedantic(run_fig10b, args=(profile,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                title=(
+                    "Figure 10(b) — total query cost (s) vs dataset size "
+                    "(l=30, varrho=2)"
+                ),
+            )
+        )
+    # FR's work grows with N: CPU and objects touched are monotone (the
+    # charged I/O component can dip between adjacent sizes because the
+    # buffer pool is sized at 10% of the dataset and grows with N —
+    # see EXPERIMENTS.md).
+    fr_cpu = [r["fr_cpu_s"] for r in rows]
+    assert fr_cpu[-1] > fr_cpu[0]
+    objs = [r["fr_objects_examined"] for r in rows]
+    assert objs[-1] > objs[0]
+    assert rows[-1]["fr_total_s"] > rows[0]["fr_total_s"]
+    # PA stays flat: within a small factor across a 25x size range.
+    pa = [r["pa_total_s"] for r in rows]
+    assert max(pa) < 5 * min(pa) + 1e-3
+    # And PA is dramatically cheaper everywhere.
+    for row in rows:
+        assert row["speedup"] > 10.0

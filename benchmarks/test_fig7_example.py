@@ -1,0 +1,28 @@
+"""Figure 7 — qualitative example: object snapshot, FR regions, PA regions.
+
+Shape check: both methods find regions of arbitrary shape and size, and the
+PA answer visually matches the FR answer (quantified by Jaccard).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_example import run_fig7
+
+
+def test_fig7_example(profile, benchmark, capsys):
+    result = benchmark.pedantic(run_fig7, args=(profile,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("Figure 7 — dense-region example (small dataset)")
+        print(result.combined())
+        print(
+            f"FR: {result.fr_rects} rects / area {result.fr_area:,.0f}; "
+            f"PA: {result.pa_rects} rects / area {result.pa_area:,.0f}; "
+            f"Jaccard(FR, PA) = {result.jaccard:.3f} "
+            f"(varrho={result.varrho:g}, qt={result.qt})"
+        )
+    # Paper shape: the two answers match well.
+    assert result.jaccard > 0.5
+    # Arbitrary shapes: answers are not a single rectangle.
+    assert result.fr_rects > 1
+    assert result.pa_rects > 1

@@ -1,0 +1,73 @@
+"""Figure 8 — accuracy of PA vs the DH filter step.
+
+Shape checks (paper):
+* PA's error ratios stay far below DH's on both sides (a, b);
+* error ratios grow as the threshold rises (the reference area shrinks);
+* more memory buys accuracy for both methods, and PA dominates DH
+  at comparable (even much smaller) memory (c, d).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_accuracy import run_fig8ab, run_fig8cd
+from repro.experiments.report import format_table
+
+
+def test_fig8a_fig8b_error_vs_threshold(profile, medium_world, benchmark, capsys):
+    rows = benchmark.pedantic(
+        run_fig8ab, args=(profile, medium_world), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                columns=["l", "varrho", "r_fp_pa_pct", "r_fp_dh_optimistic_pct"],
+                title="Figure 8(a) — false-positive ratio (%) vs relative threshold",
+            )
+        )
+        print()
+        print(
+            format_table(
+                rows,
+                columns=["l", "varrho", "r_fn_pa_pct", "r_fn_dh_pessimistic_pct"],
+                title="Figure 8(b) — false-negative ratio (%) vs relative threshold",
+            )
+        )
+    # PA beats DH on the summed ratios (both panels).
+    pa_fp = sum(r["r_fp_pa_pct"] for r in rows)
+    dh_fp = sum(r["r_fp_dh_optimistic_pct"] for r in rows)
+    pa_fn = sum(r["r_fn_pa_pct"] for r in rows)
+    dh_fn = sum(r["r_fn_dh_pessimistic_pct"] for r in rows)
+    assert pa_fp < dh_fp
+    assert pa_fn < dh_fn
+    # DH error grows with the threshold for each l.
+    for l in (30.0, 60.0):
+        sub = [r for r in rows if r["l"] == l]
+        assert sub[-1]["r_fn_dh_pessimistic_pct"] > sub[0]["r_fn_dh_pessimistic_pct"]
+
+
+def test_fig8c_fig8d_error_vs_memory(profile, medium_world, benchmark, capsys):
+    rows = benchmark.pedantic(
+        run_fig8cd, args=(profile, medium_world), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                title=(
+                    "Figure 8(c,d) — error ratio (%) vs memory "
+                    "(l=30, varrho=2; r_fp uses optimistic DH, r_fn pessimistic)"
+                ),
+            )
+        )
+    pa_rows = [r for r in rows if r["method"] == "PA"]
+    dh_rows = [r for r in rows if r["method"] == "DH"]
+    # More PA memory => lower (or equal) false negatives end-to-end.
+    assert pa_rows[-1]["r_fn_pct"] <= pa_rows[0]["r_fn_pct"] + 1.0
+    # PA at its default budget beats every DH configuration on both ratios.
+    default_pa = pa_rows[-2] if len(pa_rows) >= 2 else pa_rows[-1]
+    for dh in dh_rows:
+        assert default_pa["r_fp_pct"] < dh["r_fp_pct"]
+        assert default_pa["r_fn_pct"] < dh["r_fn_pct"]

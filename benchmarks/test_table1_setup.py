@@ -1,0 +1,14 @@
+"""Table 1 — experimental setup (printed for the active scale profile)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_setup(profile, benchmark, capsys):
+    rows = benchmark.pedantic(run_table1, args=(profile,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Table 1 — experimental setup"))
+    assert any(r["parameter"].startswith("Time horizon") for r in rows)

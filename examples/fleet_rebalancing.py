@@ -1,0 +1,112 @@
+"""Fleet rebalancing: find demand hotspots — and why PDR beats prior queries.
+
+A ride-hailing operator wants to pre-position idle vehicles where demand
+(here: the density of active customers) will be high over the next half
+hour.  This example uses an *interval* PDR query (Definition 5) to union
+hotspots over the dispatch window, then contrasts the PDR answer with the
+two prior query types the paper criticises (Section 1.1):
+
+* dense-cell queries miss clusters that straddle cell boundaries
+  (**answer loss**, Figure 1(a));
+* effective density queries report only one of several overlapping dense
+  squares, and *which* one depends on the reporting strategy
+  (**ambiguity**, Figure 1(b)).
+
+Run with::
+
+    python examples/fleet_rebalancing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PDRServer, SystemConfig
+from repro.baselines import dense_cell_query, edq_report_ambiguity
+from repro.experiments.viz import render_region, side_by_side
+
+N_CUSTOMERS = 900
+
+
+def build_demand(seed: int = 3) -> PDRServer:
+    """Customers: three hotspots drifting at different speeds + background."""
+    rng = np.random.default_rng(seed)
+    config = SystemConfig()
+    server = PDRServer(config, expected_objects=N_CUSTOMERS)
+    oid = 0
+    hotspots = [
+        ((300.0, 300.0), (0.0, 0.0), 220),  # stationary downtown cluster
+        ((650.0, 400.0), (0.8, 0.6), 180),  # event crowd moving north-east
+        ((400.0, 750.0), (-0.4, 0.0), 160),  # airport queue drifting west
+    ]
+    for (cx, cy), (vx, vy), count in hotspots:
+        for _ in range(count):
+            x, y = rng.normal([cx, cy], 18, size=2)
+            server.report(oid, float(x), float(y), vx, vy)
+            oid += 1
+    while oid < N_CUSTOMERS:
+        x, y = rng.uniform(30, 970, size=2)
+        vx, vy = rng.uniform(-0.3, 0.3, size=2)
+        server.report(oid, float(x), float(y), float(vx), float(vy))
+        oid += 1
+    return server
+
+
+def main() -> None:
+    server = build_demand()
+    config = server.config
+    varrho = 15.0  # demand must be 15x the city-wide average to rebalance
+
+    # Where should vehicles go over the next 30 timestamps?
+    window = server.query_interval("pa", qt1=0, qt2=30, varrho=varrho)
+    snapshot = server.query("fr", qt=0, varrho=varrho)
+    print(
+        f"{server.object_count()} active customers; rebalancing window [0, 30]\n"
+        f"snapshot hotspots now: area {snapshot.area():,.0f} sq miles; "
+        f"union over the window: area {window.area():,.0f} sq miles"
+    )
+    print()
+    print(
+        side_by_side(
+            [
+                (
+                    "hotspots at t=0 (exact FR)",
+                    render_region(snapshot.regions, config.domain, 40, 20),
+                ),
+                (
+                    "union over [0, 30] (PA)",
+                    render_region(window.regions, config.domain, 40, 20),
+                ),
+            ]
+        )
+    )
+
+    # --- why not dense-cell queries? (answer loss) ---------------------
+    query = server.make_query(qt=0, varrho=varrho)
+    cells = dense_cell_query(server.histogram, query)
+    missed = snapshot.regions.difference_area(cells.regions)
+    print(
+        f"\ndense-cell baseline: reports {len(cells.regions)} cells, "
+        f"area {cells.area():,.0f}; "
+        f"misses {missed:,.0f} sq miles of genuinely dense area "
+        f"({100 * missed / snapshot.area():.0f}% answer loss)"
+    )
+
+    # --- why not effective density queries? (ambiguity) ----------------
+    positions = [(x, y) for (_o, x, y) in server.table.positions_at(0)]
+    answer_a, answer_b = edq_report_ambiguity(positions, config.domain, query)
+    sym_diff = answer_a.regions.symmetric_difference_area(answer_b.regions)
+    print(
+        f"EDQ baseline: strategy A reports {len(answer_a.regions)} squares, "
+        f"strategy B reports {len(answer_b.regions)} squares; "
+        f"their answers differ on {sym_diff:,.0f} sq miles — "
+        "two 'correct' answers to the same query"
+    )
+    print(
+        "PDR reports every dense point exactly once: "
+        "complete (no answer loss) and unique (no reporting strategy)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Traffic management: predict where congestion will be, before it forms.
+
+The motivating application of the paper's introduction: a traffic database
+that can *predict* dense regions lets commuters route around jams that have
+not formed yet.  We simulate rush-hour traffic on a synthetic metropolitan
+road network (vehicles stream toward the business district), then ask
+predictive snapshot PDR queries at "now", "now + 20" and "now + 40"
+timestamps and render how the hotspot picture evolves.
+
+Also demonstrates the density *contour* extraction the Chebyshev
+representation enables (Section 6): an explicit overview of the density
+surface at the query threshold.
+
+Run with::
+
+    python examples/traffic_hotspots.py
+"""
+
+from __future__ import annotations
+
+from repro import PDRServer, SystemConfig
+from repro.chebyshev.contours import contour_segments
+from repro.datagen import SpeedModel, TripSimulator, synthetic_metro
+from repro.experiments.viz import render_points, render_region, side_by_side
+
+N_VEHICLES = 3000
+VARRHO = 3.0  # three times the metro-wide average density
+
+
+def main() -> None:
+    config = SystemConfig()
+    server = PDRServer(config, expected_objects=N_VEHICLES)
+    network = synthetic_metro(config.domain, grid_n=30, seed=11)
+    sim = TripSimulator(
+        network,
+        n_objects=N_VEHICLES,
+        update_interval=config.max_update_interval,
+        speed_model=SpeedModel(v_min_mph=25, v_max_mph=100),
+        seed=11,
+    )
+    sim.initialize(server.table)
+    sim.run_until(server.table, 30)  # warm up half an update cycle
+    print(
+        f"simulated {server.object_count()} vehicles, "
+        f"{sim.reports_issued} location reports, t_now = {server.tnow}"
+    )
+
+    panels = []
+    for offset in (0, 20, 40):
+        qt = server.tnow + offset
+        result = server.query("pa", qt=qt, varrho=VARRHO)
+        panels.append(
+            (
+                f"hotspots at t_now+{offset} (area {result.area():,.0f})",
+                render_region(result.regions, config.domain, width=44, height=22),
+            )
+        )
+    snapshot = [(x, y) for (_o, x, y) in server.table.positions_at(server.tnow)]
+    panels.insert(
+        0,
+        ("vehicles now", render_points(snapshot, config.domain, width=44, height=22)),
+    )
+    print()
+    print(side_by_side(panels[:2]))
+    print()
+    print(side_by_side(panels[2:]))
+
+    # Exact check at the prediction horizon: does FR agree with PA?
+    qt = server.tnow + 40
+    query = server.make_query(qt=qt, varrho=VARRHO)
+    exact = server.evaluate("fr", query)
+    approx = server.evaluate("pa", query)
+    inter = exact.regions.intersection_area(approx.regions)
+    union = exact.area() + approx.area() - inter
+    print(
+        f"\nat t_now+40: FR area {exact.area():,.0f} "
+        f"(cpu {exact.stats.cpu_seconds:.2f}s + io {exact.stats.io_seconds:.1f}s), "
+        f"PA area {approx.area():,.0f} (cpu {approx.stats.cpu_seconds:.3f}s), "
+        f"Jaccard {inter / union:.2f}"
+    )
+
+    # Contour overview of the predicted density surface.
+    surface = server.pa.surface_at(qt)
+    segments = contour_segments(surface, level=query.rho, resolution=96)
+    print(
+        f"density contour at rho={query.rho:.4g}: "
+        f"{len(segments)} marching-squares segments "
+        f"(an explicit overview of the predicted distribution)"
+    )
+
+
+if __name__ == "__main__":
+    main()

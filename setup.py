@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs to build wheel metadata, which
+this offline environment cannot; `python setup.py develop` (or the pip
+fallback below) installs the package from pyproject.toml metadata instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Pointwise-Dense Region (PDR) queries in spatio-temporal databases.
+
+A full reproduction of Ni & Ravishankar, *"Pointwise-Dense Region Queries in
+Spatio-temporal Databases"* (ICDE 2007): the PDR query model, the exact
+filtering-refinement evaluator (density histograms + TPR-tree + plane
+sweep), the approximate Chebyshev-polynomial evaluator, the baselines the
+paper compares against, and the full experiment harness for its evaluation
+section.
+
+Quickstart::
+
+    from repro import PDRServer, SystemConfig
+
+    server = PDRServer(SystemConfig(), expected_objects=1000)
+    server.report(oid=0, x=500.0, y=500.0, vx=0.5, vy=0.0)
+    ...
+    result = server.query("fr", qt=server.tnow, varrho=2.0)
+    for rect in result.regions:
+        print(rect)
+"""
+
+from .core.config import DEFAULT_DOMAIN, SystemConfig
+from .core.errors import (
+    DatagenError,
+    GeometryError,
+    HorizonError,
+    InvalidParameterError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+from .core.geometry import Point, Rect
+from .core.query import (
+    IntervalPDRQuery,
+    QueryResult,
+    QueryStats,
+    SnapshotPDRQuery,
+    relative_to_absolute_threshold,
+)
+from .core.regions import RegionSet
+from .core.system import PDRServer
+from .motion.model import Motion
+from .motion.table import ObjectTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_DOMAIN",
+    "SystemConfig",
+    "PDRServer",
+    "Point",
+    "Rect",
+    "RegionSet",
+    "Motion",
+    "ObjectTable",
+    "SnapshotPDRQuery",
+    "IntervalPDRQuery",
+    "QueryResult",
+    "QueryStats",
+    "relative_to_absolute_threshold",
+    "ReproError",
+    "InvalidParameterError",
+    "GeometryError",
+    "QueryError",
+    "HorizonError",
+    "StorageError",
+    "DatagenError",
+]

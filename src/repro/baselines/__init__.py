@@ -1,0 +1,13 @@
+"""Baselines: brute-force oracle, dense-cell queries, effective density queries."""
+
+from .bruteforce import bruteforce_from_motions, bruteforce_pdr
+from .dense_cell import dense_cell_query
+from .edq import edq_query, edq_report_ambiguity
+
+__all__ = [
+    "bruteforce_pdr",
+    "bruteforce_from_motions",
+    "dense_cell_query",
+    "edq_query",
+    "edq_report_ambiguity",
+]

@@ -1,0 +1,87 @@
+"""Closed-form delta coefficients for indicator-square density increments.
+
+When an object (predicted at normalized position inside a polynomial cell)
+is inserted, every point whose l-square contains it gains ``1/l^2`` density;
+the set of such points is an axis-aligned square, clipped to the cell.  The
+density change is therefore ``delta(x, y) = height * 1[(x, y) in R]`` for a
+rectangle ``R = [x1, x2] x [y1, y2]`` in normalized coordinates, and its
+Chebyshev coefficients factor into 1-D weighted integrals (Lemma 4):
+
+    a_ij^delta = (c_ij / pi^2) * height * A_i(x1, x2) * A_j(y1, y2)
+
+with ``A_i`` from :func:`repro.chebyshev.cheb1d.weighted_integrals`.
+Linearity of the coefficient functional (Lemma 3) lets the maintainer simply
+add these to (insert) or subtract them from (delete) the running
+coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from .cheb1d import weighted_integrals
+from .cheb2d import normalization_factors, total_degree_mask
+
+__all__ = ["delta_coefficients", "delta_coefficients_batch"]
+
+
+def delta_coefficients(
+    k: int, x1: float, x2: float, y1: float, y2: float, height: float
+) -> np.ndarray:
+    """Coefficients of ``height * 1[[x1,x2] x [y1,y2]]``; shape ``(k+1, k+1)``.
+
+    Rectangle bounds are in normalized coordinates and are clipped to
+    ``[-1, 1]``; an empty rectangle yields all zeros.  Entries with
+    ``i + j > k`` are zero per the total-degree truncation.
+    """
+    ax = weighted_integrals(k, x1, x2)
+    ay = weighted_integrals(k, y1, y2)
+    coeffs = normalization_factors(k) / np.pi**2 * height * np.outer(ax, ay)
+    coeffs[~total_degree_mask(k)] = 0.0
+    return coeffs
+
+
+def delta_coefficients_batch(
+    k: int,
+    x1: np.ndarray,
+    x2: np.ndarray,
+    y1: np.ndarray,
+    y2: np.ndarray,
+    height: float,
+) -> np.ndarray:
+    """Vectorised :func:`delta_coefficients` over ``M`` rectangles.
+
+    Returns shape ``(M, k+1, k+1)``.  Used by the PA maintainer, which
+    processes one rectangle per (timestamp, overlapped cell) pair of an
+    object update in a single numpy pass.
+    """
+    x1 = np.clip(np.asarray(x1, dtype=float), -1.0, 1.0)
+    x2 = np.clip(np.asarray(x2, dtype=float), -1.0, 1.0)
+    y1 = np.clip(np.asarray(y1, dtype=float), -1.0, 1.0)
+    y2 = np.clip(np.asarray(y2, dtype=float), -1.0, 1.0)
+    if not (x1.shape == x2.shape == y1.shape == y2.shape):
+        raise InvalidParameterError("rectangle bound arrays must share a shape")
+    m = x1.shape[0]
+    if m == 0:
+        return np.zeros((0, k + 1, k + 1))
+
+    def axis_integrals(z1: np.ndarray, z2: np.ndarray) -> np.ndarray:
+        """``A_i`` for every rectangle; shape ``(k+1, M)``."""
+        empty = z2 <= z1
+        theta1 = np.arccos(z1)  # the larger angle
+        theta2 = np.arccos(z2)
+        out = np.empty((k + 1, m), dtype=float)
+        out[0] = theta1 - theta2
+        if k >= 1:
+            i = np.arange(1, k + 1, dtype=float)[:, None]
+            out[1:] = (np.sin(i * theta1[None, :]) - np.sin(i * theta2[None, :])) / i
+        out[:, empty] = 0.0
+        return out
+
+    ax = axis_integrals(x1, x2)  # (k+1, M)
+    ay = axis_integrals(y1, y2)
+    c = normalization_factors(k)
+    coeffs = (height / np.pi**2) * np.einsum("ij,im,jm->mij", c, ax, ay)
+    coeffs[:, ~total_degree_mask(k)] = 0.0
+    return coeffs

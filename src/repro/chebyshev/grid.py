@@ -1,0 +1,218 @@
+"""Multi-polynomial density surfaces (Section 6.4).
+
+A single global polynomial cannot track a highly skewed density surface, so
+the PA method tiles the domain with a ``g x g`` macro grid and keeps an
+independent total-degree-``k`` Chebyshev expansion per tile, each over its
+own normalized ``[-1, 1]^2`` frame.  :class:`GridSpec` owns the coordinate
+mapping; :class:`ChebSurface` wraps the ``(g, g, k+1, k+1)`` coefficient
+block of one timestamp and provides evaluation and branch-and-bound region
+extraction in world coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from ..core.geometry import Rect
+from ..core.regions import RegionSet
+from .bnb import BnBResult, dense_boxes_grid
+from .cheb2d import coefficient_count, evaluate, evaluate_grid
+from .delta import delta_coefficients
+
+__all__ = ["GridSpec", "ChebSurface"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Geometry of the ``g x g`` polynomial tiling of ``domain``."""
+
+    domain: Rect
+    g: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise InvalidParameterError(f"grid factor g must be >= 1, got {self.g}")
+        if self.k < 0:
+            raise InvalidParameterError(f"degree k must be >= 0, got {self.k}")
+        if self.domain.is_empty():
+            raise InvalidParameterError("domain must have positive area")
+
+    @property
+    def cell_width(self) -> float:
+        return self.domain.width / self.g
+
+    @property
+    def cell_height(self) -> float:
+        return self.domain.height / self.g
+
+    def cell_rect(self, i: int, j: int) -> Rect:
+        x1 = self.domain.x1 + i * self.cell_width
+        y1 = self.domain.y1 + j * self.cell_height
+        return Rect(x1, y1, x1 + self.cell_width, y1 + self.cell_height)
+
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        i = int((x - self.domain.x1) / self.cell_width)
+        j = int((y - self.domain.y1) / self.cell_height)
+        return (min(max(i, 0), self.g - 1), min(max(j, 0), self.g - 1))
+
+    def to_normalized_x(self, i: int, x) -> np.ndarray:
+        """World x -> normalized coordinate within column ``i``."""
+        x1 = self.domain.x1 + i * self.cell_width
+        return 2.0 * (np.asarray(x, dtype=float) - x1) / self.cell_width - 1.0
+
+    def to_normalized_y(self, j: int, y) -> np.ndarray:
+        y1 = self.domain.y1 + j * self.cell_height
+        return 2.0 * (np.asarray(y, dtype=float) - y1) / self.cell_height - 1.0
+
+    def from_normalized(self, i: int, j: int, nx: float, ny: float) -> Tuple[float, float]:
+        x1 = self.domain.x1 + i * self.cell_width
+        y1 = self.domain.y1 + j * self.cell_height
+        return (
+            x1 + (nx + 1.0) / 2.0 * self.cell_width,
+            y1 + (ny + 1.0) / 2.0 * self.cell_height,
+        )
+
+    def coefficients_memory_bytes(self, horizon: int) -> int:
+        """The paper's storage figure: ``H g^2 (k+1)(k+2)/2`` 8-byte floats."""
+        return (horizon + 1) * self.g * self.g * coefficient_count(self.k) * 8
+
+    def zero_coefficients(self) -> np.ndarray:
+        return np.zeros((self.g, self.g, self.k + 1, self.k + 1))
+
+
+class ChebSurface:
+    """One timestamp's approximated density surface.
+
+    ``coeffs`` has shape ``(g, g, k+1, k+1)``; the surface may share storage
+    with a maintainer's ring buffer (mutations through :meth:`add_rect`
+    write straight through, which is what the tests exploit).
+    """
+
+    def __init__(self, spec: GridSpec, coeffs: np.ndarray) -> None:
+        expected = (spec.g, spec.g, spec.k + 1, spec.k + 1)
+        if coeffs.shape != expected:
+            raise InvalidParameterError(
+                f"coefficient block has shape {coeffs.shape}, expected {expected}"
+            )
+        self.spec = spec
+        self.coeffs = coeffs
+        # Cached tile dimensions (hot in density_grid / dense_regions).
+        self.cell_width_ = spec.cell_width
+        self.cell_height_ = spec.cell_height
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def density_at(self, x: float, y: float) -> float:
+        """Approximated density at a world point."""
+        i, j = self.spec.cell_of(x, y)
+        nx = self.spec.to_normalized_x(i, np.array([x]))
+        ny = self.spec.to_normalized_y(j, np.array([y]))
+        return float(evaluate(self.coeffs[i, j], nx, ny)[0])
+
+    def density_grid(self, resolution: int) -> np.ndarray:
+        """Sample the surface on a ``resolution x resolution`` world grid.
+
+        Sample points are cell centres of the uniform grid over the domain;
+        returns values indexed ``[ix, iy]``.
+        """
+        if resolution < 1:
+            raise InvalidParameterError("resolution must be >= 1")
+        xs = self.spec.domain.x1 + (np.arange(resolution) + 0.5) * (
+            self.spec.domain.width / resolution
+        )
+        ys = self.spec.domain.y1 + (np.arange(resolution) + 0.5) * (
+            self.spec.domain.height / resolution
+        )
+        col = np.clip(
+            ((xs - self.spec.domain.x1) / self.cell_width_).astype(int), 0, self.spec.g - 1
+        )
+        row = np.clip(
+            ((ys - self.spec.domain.y1) / self.cell_height_).astype(int), 0, self.spec.g - 1
+        )
+        out = np.empty((resolution, resolution))
+        for i in range(self.spec.g):
+            xi = np.nonzero(col == i)[0]
+            if xi.size == 0:
+                continue
+            nx = self.spec.to_normalized_x(i, xs[xi])
+            for j in range(self.spec.g):
+                yj = np.nonzero(row == j)[0]
+                if yj.size == 0:
+                    continue
+                ny = self.spec.to_normalized_y(j, ys[yj])
+                block = evaluate_grid(self.coeffs[i, j], nx, ny)
+                out[np.ix_(xi, yj)] = block
+        return out
+
+    # ------------------------------------------------------------------
+    # direct increments (tests / offline loading)
+    # ------------------------------------------------------------------
+    def add_rect(self, rect: Rect, height: float) -> None:
+        """Add ``height * 1[rect]`` to the surface (closed-form, per tile)."""
+        clipped = rect.intersection(self.spec.domain)
+        if clipped.is_empty():
+            return
+        i0, j0 = self.spec.cell_of(clipped.x1, clipped.y1)
+        # The high corner may sit exactly on a tile boundary; nudge inward.
+        eps_x = self.spec.cell_width * 1e-12
+        eps_y = self.spec.cell_height * 1e-12
+        i1, j1 = self.spec.cell_of(clipped.x2 - eps_x, clipped.y2 - eps_y)
+        for i in range(i0, i1 + 1):
+            for j in range(j0, j1 + 1):
+                tile = self.spec.cell_rect(i, j)
+                overlap = clipped.intersection(tile)
+                if overlap.is_empty():
+                    continue
+                nx1 = float(self.spec.to_normalized_x(i, overlap.x1))
+                nx2 = float(self.spec.to_normalized_x(i, overlap.x2))
+                ny1 = float(self.spec.to_normalized_y(j, overlap.y1))
+                ny2 = float(self.spec.to_normalized_y(j, overlap.y2))
+                self.coeffs[i, j] += delta_coefficients(
+                    self.spec.k, nx1, nx2, ny1, ny2, height
+                )
+
+    def add_object(self, x: float, y: float, l: float) -> None:
+        """Convenience: the density increment of one object (see Eq. 2)."""
+        half = l / 2.0
+        self.add_rect(Rect(x - half, y - half, x + half, y + half), 1.0 / (l * l))
+
+    def remove_object(self, x: float, y: float, l: float) -> None:
+        half = l / 2.0
+        self.add_rect(Rect(x - half, y - half, x + half, y + half), -1.0 / (l * l))
+
+    # ------------------------------------------------------------------
+    # dense-region extraction
+    # ------------------------------------------------------------------
+    def dense_regions(self, rho: float, md: int = 512) -> Tuple[RegionSet, BnBResult]:
+        """World dense regions by per-tile branch-and-bound.
+
+        ``md`` is the paper's global evaluation-grid resolution ``m_d``; the
+        per-tile recursion floor is therefore ``2 g / m_d`` in normalized
+        units (never coarser than a whole tile).
+        """
+        if md < self.spec.g:
+            raise InvalidParameterError(
+                f"m_d ({md}) must be at least the polynomial grid factor g ({self.spec.g})"
+            )
+        min_edge = 2.0 * self.spec.g / md
+        totals = dense_boxes_grid(self.coeffs, rho, min_edge)
+        if len(totals) == 0:
+            return RegionSet(), totals
+        # Vectorised normalized -> world conversion for all boxes at once.
+        cw, ch = self.cell_width_, self.cell_height_
+        tx1 = self.spec.domain.x1 + totals.tiles[:, 0] * cw
+        ty1 = self.spec.domain.y1 + totals.tiles[:, 1] * ch
+        wx1 = tx1 + (totals.boxes[:, 0] + 1.0) / 2.0 * cw
+        wy1 = ty1 + (totals.boxes[:, 1] + 1.0) / 2.0 * ch
+        wx2 = tx1 + (totals.boxes[:, 2] + 1.0) / 2.0 * cw
+        wy2 = ty1 + (totals.boxes[:, 3] + 1.0) / 2.0 * ch
+        rects: List[Rect] = [
+            Rect(x1, y1, x2, y2) for x1, y1, x2, y2 in zip(wx1, wy1, wx2, wy2)
+        ]
+        return RegionSet(rects), totals

@@ -1,0 +1,146 @@
+"""Command-line interface.
+
+Three subcommands cover the typical downstream workflow::
+
+    python -m repro.cli simulate --objects 5000 --warmup 30 --out world.npz
+    python -m repro.cli query --snapshot world.npz --method pa --varrho 2 \\
+        --offset 20 --render
+    python -m repro.cli report            # the full evaluation (run_all)
+
+``simulate`` builds a road-network workload, warms a full server and
+serialises its state; ``query`` restores the server and evaluates a snapshot
+PDR query with any method, optionally rendering the dense regions as ASCII.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.system import PDRServer
+from .core.config import SystemConfig
+from .datagen.network import synthetic_metro
+from .datagen.trips import TripSimulator
+from .experiments.viz import render_region
+from .storage.snapshot import load_server, save_server
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pointwise-dense region queries over moving objects "
+        "(Ni & Ravishankar, ICDE 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate and warm a server, save a snapshot")
+    sim.add_argument("--objects", type=int, default=2000, help="number of moving objects")
+    sim.add_argument("--seed", type=int, default=7, help="workload seed")
+    sim.add_argument("--warmup", type=int, default=30, help="timestamps to simulate")
+    sim.add_argument("--network-grid", type=int, default=30,
+                     help="road-network intersections per side")
+    sim.add_argument("--out", required=True, help="output snapshot path (.npz)")
+
+    query = sub.add_parser("query", help="evaluate a snapshot PDR query")
+    query.add_argument("--snapshot", required=True, help="snapshot produced by simulate")
+    query.add_argument("--method", default="pa",
+                       choices=["fr", "pa", "dh-optimistic", "dh-pessimistic",
+                                "bruteforce", "dense-cell", "edq"])
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--varrho", type=float, help="threshold relative to average density")
+    group.add_argument("--rho", type=float, help="absolute density threshold")
+    query.add_argument("--l", type=float, default=None, help="neighborhood edge length")
+    query.add_argument("--offset", type=int, default=0,
+                       help="query timestamp offset from t_now (predictive)")
+    query.add_argument("--render", action="store_true",
+                       help="print an ASCII map of the dense regions")
+    query.add_argument("--geojson", action="store_true",
+                       help="print the answer as a GeoJSON MultiPolygon")
+    query.add_argument("--max-rects", type=int, default=10,
+                       help="number of rectangles to list")
+
+    peaks = sub.add_parser("peaks", help="report the k densest locations")
+    peaks.add_argument("--snapshot", required=True, help="snapshot produced by simulate")
+    peaks.add_argument("--k", type=int, default=5, help="number of peaks")
+    peaks.add_argument("--offset", type=int, default=0,
+                       help="query timestamp offset from t_now (predictive)")
+    peaks.add_argument("--separation", type=float, default=50.0,
+                       help="minimum distance between reported peaks")
+
+    sub.add_parser("report", help="run the full evaluation (all tables/figures)")
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    config = SystemConfig()
+    server = PDRServer(config, expected_objects=args.objects)
+    network = synthetic_metro(config.domain, grid_n=args.network_grid, seed=args.seed)
+    simulator = TripSimulator(
+        network, args.objects, config.max_update_interval, seed=args.seed
+    )
+    simulator.initialize(server.table)
+    simulator.run_until(server.table, args.warmup)
+    save_server(server, args.out)
+    print(
+        f"simulated {server.object_count()} objects to t={server.tnow} "
+        f"({simulator.reports_issued} reports); snapshot written to {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    server = load_server(args.snapshot)
+    qt = server.tnow + args.offset
+    result = server.query(
+        args.method, qt=qt, l=args.l, rho=args.rho, varrho=args.varrho
+    )
+    print(
+        f"{args.method} @ qt={qt}: {len(result.regions)} dense rectangles, "
+        f"area {result.area():,.1f}, cpu {result.stats.cpu_seconds * 1000:.1f} ms, "
+        f"io {result.stats.io_count} pages ({result.stats.io_seconds:.2f} s charged)"
+    )
+    for rect in list(result.regions)[: args.max_rects]:
+        print(f"  [{rect.x1:.2f}, {rect.x2:.2f}) x [{rect.y1:.2f}, {rect.y2:.2f})")
+    remaining = len(result.regions) - args.max_rects
+    if remaining > 0:
+        print(f"  ... and {remaining} more")
+    if args.render:
+        print(render_region(result.regions, server.config.domain, 60, 30))
+    if args.geojson:
+        import json
+
+        print(json.dumps(result.regions.to_geojson()))
+    return 0
+
+
+def _cmd_peaks(args) -> int:
+    from .methods.topk import top_k_peaks
+
+    server = load_server(args.snapshot)
+    qt = server.tnow + args.offset
+    peaks = top_k_peaks(server.pa, qt, k=args.k, separation=args.separation)
+    print(f"top {len(peaks)} density peaks @ qt={qt} (objects per sq mile):")
+    for rank, peak in enumerate(peaks, start=1):
+        print(f"  {rank}. ({peak.x:7.1f}, {peak.y:7.1f})  density {peak.density:.5f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "peaks":
+        return _cmd_peaks(args)
+    if args.command == "report":
+        from .experiments.run_all import main as report_main
+
+        return report_main()
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

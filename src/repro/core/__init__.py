@@ -1,0 +1,1 @@
+"""Core abstractions: geometry, regions, queries, configuration, the server façade."""

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the PDR reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subclasses are
+grouped by the subsystem that raises them; the intent is that a failed
+precondition produces a message naming the offending parameter and its
+observed value.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A query or configuration parameter violates a documented precondition."""
+
+
+class GeometryError(ReproError, ValueError):
+    """A geometric object (rectangle, region) is malformed."""
+
+
+class QueryError(ReproError):
+    """A query cannot be evaluated against the current system state."""
+
+
+class HorizonError(QueryError):
+    """The query timestamp falls outside the maintained time horizon."""
+
+
+class IndexError_(ReproError):
+    """The spatio-temporal index detected an inconsistency.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class StorageError(ReproError):
+    """The simulated storage layer was used incorrectly."""
+
+
+class DatagenError(ReproError):
+    """The workload generator received inconsistent parameters."""

@@ -1,0 +1,153 @@
+"""PDR query model (Definitions 3-5 of the paper).
+
+A *snapshot PDR query* ``(rho, l, q_t)`` asks for every point whose l-square
+neighborhood contains at least ``rho * l**2`` objects at timestamp ``q_t``.
+An *interval PDR query* unions snapshot answers over an integer timestamp
+range.  Queries are plain immutable values; evaluation lives in
+:mod:`repro.methods`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .errors import InvalidParameterError
+from .regions import RegionSet
+
+__all__ = [
+    "SnapshotPDRQuery",
+    "IntervalPDRQuery",
+    "QueryStats",
+    "QueryResult",
+    "relative_to_absolute_threshold",
+]
+
+
+def relative_to_absolute_threshold(varrho: float, n_objects: int, domain_area: float) -> float:
+    """Convert the paper's relative threshold to an absolute density.
+
+    Section 7 of the paper issues queries with a *relative* density threshold
+    ``varrho`` and converts it as ``rho = N * varrho / area``: ``varrho = 1``
+    asks for regions at least as dense as the average density of the whole
+    domain, ``varrho = 5`` for five times the average.
+    """
+    if varrho < 0:
+        raise InvalidParameterError(f"relative threshold must be >= 0, got {varrho}")
+    if n_objects < 0:
+        raise InvalidParameterError(f"object count must be >= 0, got {n_objects}")
+    if domain_area <= 0:
+        raise InvalidParameterError(f"domain area must be positive, got {domain_area}")
+    return n_objects * varrho / domain_area
+
+
+@dataclass(frozen=True)
+class SnapshotPDRQuery:
+    """The snapshot PDR query ``(rho, l, q_t)`` of Definition 4.
+
+    Attributes:
+        rho: density threshold (objects per unit area), ``>= 0``.
+        l: edge length of the square neighborhood, ``> 0``.
+        qt: the (integer) timestamp the query targets.
+    """
+
+    rho: float
+    l: float
+    qt: int
+
+    def __post_init__(self) -> None:
+        if not (self.rho >= 0) or math.isinf(self.rho) or math.isnan(self.rho):
+            raise InvalidParameterError(f"rho must be a finite value >= 0, got {self.rho}")
+        if not (self.l > 0) or math.isinf(self.l):
+            raise InvalidParameterError(f"l must be a finite value > 0, got {self.l}")
+
+    @property
+    def min_count(self) -> float:
+        """Number of objects an l-square must contain to be dense: ``rho * l**2``."""
+        return self.rho * self.l * self.l
+
+    def with_timestamp(self, qt: int) -> "SnapshotPDRQuery":
+        return SnapshotPDRQuery(self.rho, self.l, qt)
+
+
+@dataclass(frozen=True)
+class IntervalPDRQuery:
+    """The interval PDR query ``(rho, l, [qt1, qt2])`` of Definition 5."""
+
+    rho: float
+    l: float
+    qt1: int
+    qt2: int
+
+    def __post_init__(self) -> None:
+        if self.qt2 < self.qt1:
+            raise InvalidParameterError(
+                f"interval query requires qt1 <= qt2, got [{self.qt1}, {self.qt2}]"
+            )
+        # Delegate scalar validation to the snapshot constructor.
+        SnapshotPDRQuery(self.rho, self.l, self.qt1)
+
+    def snapshots(self):
+        """Yield the constituent snapshot queries, one per integer timestamp."""
+        for qt in range(self.qt1, self.qt2 + 1):
+            yield SnapshotPDRQuery(self.rho, self.l, qt)
+
+
+@dataclass
+class QueryStats:
+    """Per-query cost accounting.
+
+    ``cpu_seconds`` is measured wall CPU of the evaluation; ``io_count`` and
+    ``io_seconds`` come from the simulated buffer pool (only the FR method
+    performs I/O).  Cell counters describe the filter step when applicable.
+    """
+
+    method: str = ""
+    cpu_seconds: float = 0.0
+    io_count: int = 0
+    io_seconds: float = 0.0
+    accepted_cells: int = 0
+    rejected_cells: int = 0
+    candidate_cells: int = 0
+    objects_examined: int = 0
+    bnb_nodes: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total query cost: CPU plus charged I/O (Section 7.3)."""
+        return self.cpu_seconds + self.io_seconds
+
+    def merged_with(self, other: "QueryStats") -> "QueryStats":
+        """Combine accounting from two evaluations (used by interval queries)."""
+        merged = QueryStats(
+            method=self.method or other.method,
+            cpu_seconds=self.cpu_seconds + other.cpu_seconds,
+            io_count=self.io_count + other.io_count,
+            io_seconds=self.io_seconds + other.io_seconds,
+            accepted_cells=self.accepted_cells + other.accepted_cells,
+            rejected_cells=self.rejected_cells + other.rejected_cells,
+            candidate_cells=self.candidate_cells + other.candidate_cells,
+            objects_examined=self.objects_examined + other.objects_examined,
+            bnb_nodes=self.bnb_nodes + other.bnb_nodes,
+        )
+        merged.extra = dict(self.extra)
+        for key, value in other.extra.items():
+            merged.extra[key] = merged.extra.get(key, 0.0) + value
+        return merged
+
+
+@dataclass
+class QueryResult:
+    """A PDR answer: the dense regions plus evaluation statistics."""
+
+    regions: RegionSet
+    stats: QueryStats
+    query: Optional[SnapshotPDRQuery] = None
+
+    def area(self) -> float:
+        return self.regions.area()
+
+    def __iter__(self):
+        return iter(self.regions)

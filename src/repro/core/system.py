@@ -1,0 +1,212 @@
+"""The public façade: a PDR-capable moving-objects server.
+
+:class:`PDRServer` wires together every maintained structure the paper
+uses — the object table, the TPR-tree over a simulated buffer pool, the
+per-timestamp density histograms and the per-timestamp Chebyshev
+surfaces — behind one update entry point (:meth:`report` /
+:meth:`advance_to`) and one query entry point (:meth:`query`) that selects
+the evaluation method by name:
+
+======================  =======================================================
+``"fr"``                exact filtering-refinement (Section 5)
+``"pa"``                approximate polynomial evaluation (Section 6)
+``"dh-optimistic"``     filter step only, candidates counted dense
+``"dh-pessimistic"``    filter step only, candidates dropped
+``"bruteforce"``        exact full-plane sweep (oracle; ignores all structures)
+``"dense-cell"``        dense-cell baseline (answer loss by design)
+``"edq"``               effective-density-query baseline (ambiguous by design)
+======================  =======================================================
+
+This is the class the examples and the experiment harness build on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..baselines.bruteforce import bruteforce_from_motions
+from ..baselines.dense_cell import dense_cell_query
+from ..baselines.edq import edq_query
+from ..histogram.answers import dh_optimistic, dh_pessimistic
+from ..histogram.density_histogram import DensityHistogram
+from ..index.tree import TPRTree
+from ..methods.fr import FRMethod
+from ..methods.interval import evaluate_interval
+from ..methods.pa import PAMethod
+from ..metrics.cost import UpdateCostTimer
+from ..metrics.instrument import TimedListener
+from ..motion.table import ObjectTable
+from ..storage.buffer import BufferPool
+from .config import SystemConfig
+from .errors import InvalidParameterError
+from .query import (
+    IntervalPDRQuery,
+    QueryResult,
+    SnapshotPDRQuery,
+    relative_to_absolute_threshold,
+)
+
+__all__ = ["PDRServer"]
+
+_METHODS = (
+    "fr",
+    "pa",
+    "dh-optimistic",
+    "dh-pessimistic",
+    "bruteforce",
+    "dense-cell",
+    "edq",
+)
+
+
+class PDRServer:
+    """A complete PDR query-processing stack."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        expected_objects: int = 100_000,
+        tnow: int = 0,
+    ) -> None:
+        self.config = config or SystemConfig()
+        cfg = self.config
+        self.table = ObjectTable(tnow=tnow)
+        self.buffer = BufferPool(
+            capacity_pages=cfg.page_model.buffer_pages(expected_objects),
+            random_io_seconds=cfg.page_model.random_io_seconds,
+        )
+        self.tree = TPRTree(
+            horizon=cfg.horizon,
+            page_model=cfg.page_model,
+            buffer_pool=self.buffer,
+            tnow=tnow,
+        )
+        self.histogram = DensityHistogram(
+            cfg.domain, m=cfg.histogram_cells, horizon=cfg.horizon, tnow=tnow
+        )
+        self.pa = PAMethod(
+            cfg.domain,
+            l=cfg.l,
+            horizon=cfg.horizon,
+            g=cfg.polynomial_grid,
+            k=cfg.polynomial_degree,
+            md=cfg.evaluation_grid,
+            tnow=tnow,
+        )
+        self.dh_timer = UpdateCostTimer()
+        self.pa_timer = UpdateCostTimer()
+        self.table.add_listener(TimedListener(self.histogram, self.dh_timer))
+        self.table.add_listener(TimedListener(self.pa, self.pa_timer))
+        self.table.add_listener(self.tree)
+        self._fr = FRMethod(self.histogram, self.tree)
+
+    # ------------------------------------------------------------------
+    # update side
+    # ------------------------------------------------------------------
+    @property
+    def tnow(self) -> int:
+        return self.table.tnow
+
+    def report(self, oid: int, x: float, y: float, vx: float, vy: float) -> None:
+        """Process one location report (delete + insert per Section 5.1)."""
+        self.table.report(oid, x, y, vx, vy)
+
+    def advance_to(self, tnow: int) -> None:
+        """Move the server clock; retires and creates histogram/PA slots."""
+        self.table.advance_to(tnow)
+
+    def object_count(self) -> int:
+        return len(self.table)
+
+    # ------------------------------------------------------------------
+    # query side
+    # ------------------------------------------------------------------
+    def make_query(
+        self,
+        qt: int,
+        l: Optional[float] = None,
+        rho: Optional[float] = None,
+        varrho: Optional[float] = None,
+    ) -> SnapshotPDRQuery:
+        """Construct a snapshot query, resolving the relative threshold.
+
+        Exactly one of ``rho`` (absolute, objects per unit area) and
+        ``varrho`` (relative to the current average density, as in
+        Section 7) must be given.  ``l`` defaults to the configured edge.
+        """
+        if (rho is None) == (varrho is None):
+            raise InvalidParameterError("provide exactly one of rho and varrho")
+        if rho is None:
+            rho = relative_to_absolute_threshold(
+                varrho, len(self.table), self.config.domain.area
+            )
+        return SnapshotPDRQuery(rho=rho, l=l if l is not None else self.config.l, qt=qt)
+
+    def query(
+        self,
+        method: str,
+        qt: int,
+        l: Optional[float] = None,
+        rho: Optional[float] = None,
+        varrho: Optional[float] = None,
+    ) -> QueryResult:
+        """Evaluate a snapshot PDR query with the named method."""
+        q = self.make_query(qt=qt, l=l, rho=rho, varrho=varrho)
+        return self.evaluate(method, q)
+
+    def evaluate(self, method: str, q: SnapshotPDRQuery) -> QueryResult:
+        """Evaluate an already-constructed query."""
+        if method == "fr":
+            return self._fr.query(q)
+        if method == "pa":
+            return self.pa.query(q)
+        if method == "dh-optimistic":
+            return dh_optimistic(self.histogram, q)
+        if method == "dh-pessimistic":
+            return dh_pessimistic(self.histogram, q)
+        if method == "bruteforce":
+            return bruteforce_from_motions(
+                self.table.motions(), self.config.domain, q
+            )
+        if method == "dense-cell":
+            return dense_cell_query(self.histogram, q)
+        if method == "edq":
+            positions = [(x, y) for (_oid, x, y) in self.table.positions_at(q.qt)]
+            return edq_query(positions, self.config.domain, q)
+        raise InvalidParameterError(
+            f"unknown method {method!r}; expected one of {_METHODS}"
+        )
+
+    def query_interval(
+        self,
+        method: str,
+        qt1: int,
+        qt2: int,
+        l: Optional[float] = None,
+        rho: Optional[float] = None,
+        varrho: Optional[float] = None,
+    ) -> QueryResult:
+        """Evaluate an interval PDR query (Definition 5) with the named method.
+
+        ``method="fr-optimized"`` uses the interval-level filter (accept a
+        cell once for the whole union, refine candidates only at the
+        timestamps that need it) — exact, usually far less refinement I/O.
+        """
+        base = self.make_query(qt=qt1, l=l, rho=rho, varrho=varrho)
+        interval = IntervalPDRQuery(rho=base.rho, l=base.l, qt1=qt1, qt2=qt2)
+        if method == "fr-optimized":
+            from ..methods.interval import evaluate_interval_fr
+
+            return evaluate_interval_fr(self._fr, interval)
+        return evaluate_interval(lambda s: self.evaluate(method, s), interval)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def memory_report(self) -> dict:
+        """Bytes held by each maintained structure (paper's Section 7 figures)."""
+        return {
+            "density_histogram": self.histogram.memory_bytes(),
+            "polynomials": self.pa.memory_bytes(),
+            "buffer_pages": self.buffer.capacity,
+        }

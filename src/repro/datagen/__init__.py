@@ -1,0 +1,22 @@
+"""Workload generation: synthetic metro road network and trip simulation."""
+
+from .network import Hub, RoadNetwork, synthetic_metro
+from .pointsets import (
+    GaussianCluster,
+    RandomWalkWorkload,
+    clustered_workload,
+    uniform_workload,
+)
+from .trips import SpeedModel, TripSimulator
+
+__all__ = [
+    "Hub",
+    "RoadNetwork",
+    "synthetic_metro",
+    "SpeedModel",
+    "TripSimulator",
+    "GaussianCluster",
+    "RandomWalkWorkload",
+    "uniform_workload",
+    "clustered_workload",
+]

@@ -1,0 +1,208 @@
+"""Network-constrained trip simulation.
+
+Objects drive along lattice edges toward hub-biased destinations.  Each
+object reports ``(x, y, vx, vy)`` to the :class:`~repro.motion.table.
+ObjectTable` whenever its heading changes (it reaches an intersection) or
+its maximum update interval ``U`` expires — so the linear prediction every
+maintained structure uses stays accurate between reports, exactly the
+regime the paper's update protocol assumes.
+
+Speeds are drawn per-trip-leg from a right-skewed distribution clipped to
+``[v_min, v_max]`` (the paper: 25-100 mph, skewed), expressed in
+miles-per-timestamp with a configurable minutes-per-timestamp scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import DatagenError
+from ..motion.table import ObjectTable
+from .network import RoadNetwork
+
+__all__ = ["SpeedModel", "TripSimulator"]
+
+
+@dataclass(frozen=True)
+class SpeedModel:
+    """Right-skewed speed sampling (paper: 25-100 mph, skewed)."""
+
+    v_min_mph: float = 25.0
+    v_max_mph: float = 100.0
+    minutes_per_timestamp: float = 1.0
+    beta_a: float = 1.6
+    beta_b: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.v_min_mph < self.v_max_mph):
+            raise DatagenError("need 0 < v_min < v_max")
+        if self.minutes_per_timestamp <= 0:
+            raise DatagenError("minutes_per_timestamp must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Speed in miles per timestamp."""
+        frac = rng.beta(self.beta_a, self.beta_b)
+        mph = self.v_min_mph + frac * (self.v_max_mph - self.v_min_mph)
+        return mph * self.minutes_per_timestamp / 60.0
+
+
+@dataclass
+class _ObjectState:
+    """Driving state of one simulated object."""
+
+    at_node: int  # intersection the current leg departs from
+    to_node: int  # intersection the current leg heads to
+    destination: int
+    speed: float  # miles per timestamp
+    depart_time: float  # (possibly fractional) time the leg started
+    x: float  # position at depart_time
+    y: float
+
+
+class TripSimulator:
+    """Event-driven simulation of ``n`` objects on a road network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        n_objects: int,
+        update_interval: int,
+        speed_model: Optional[SpeedModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if n_objects < 1:
+            raise DatagenError(f"need at least one object, got {n_objects}")
+        if update_interval < 1:
+            raise DatagenError(f"update interval must be >= 1, got {update_interval}")
+        self.network = network
+        self.n_objects = n_objects
+        self.update_interval = update_interval
+        self.speed_model = speed_model or SpeedModel()
+        self._rng = np.random.default_rng(seed)
+        self._states: Dict[int, _ObjectState] = {}
+        self._events: List[Tuple[int, int]] = []  # (report_time, oid) min-heap
+        self._initialized = False
+        self.reports_issued = 0
+
+    # ------------------------------------------------------------------
+    # simulation control
+    # ------------------------------------------------------------------
+    def initialize(self, table: ObjectTable) -> None:
+        """Place every object and issue its first report at ``table.tnow``.
+
+        Initial report times are staggered so steady-state traffic issues
+        roughly ``n / U`` reports per timestamp, as in the paper's setup.
+        """
+        if self._initialized:
+            raise DatagenError("simulator already initialized")
+        t0 = table.tnow
+        for oid in range(self.n_objects):
+            start = self.network.sample_node(self._rng)
+            state = self._new_leg(start, t0)
+            self._states[oid] = state
+            self._report(table, oid, t0)
+        self._initialized = True
+
+    def run_until(self, table: ObjectTable, t_end: int) -> None:
+        """Advance the simulation (and the table clock) to ``t_end``."""
+        if not self._initialized:
+            raise DatagenError("call initialize() before run_until()")
+        if t_end < table.tnow:
+            raise DatagenError(f"cannot run backwards to {t_end}")
+        for t in range(table.tnow + 1, t_end + 1):
+            table.advance_to(t)
+            while self._events and self._events[0][0] <= t:
+                _, oid = heapq.heappop(self._events)
+                self._advance_object(oid, t)
+                self._report(table, oid, t)
+
+    def step(self, table: ObjectTable) -> None:
+        """Advance by one timestamp."""
+        self.run_until(table, table.tnow + 1)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _new_leg(self, at_node: int, t: float, destination: int = -1) -> _ObjectState:
+        """Start a fresh leg from ``at_node`` at time ``t``."""
+        rng = self._rng
+        if destination < 0 or destination == at_node:
+            destination = self.network.sample_node(rng)
+            while destination == at_node:
+                destination = self.network.sample_node(rng)
+        to_node = self.network.greedy_step(at_node, destination, rng)
+        if to_node == at_node:  # isolated node: park the object
+            to_node = at_node
+        x, y = self.network.node_position(at_node)
+        return _ObjectState(
+            at_node=at_node,
+            to_node=to_node,
+            destination=destination,
+            speed=self.speed_model.sample(rng),
+            depart_time=t,
+            x=x,
+            y=y,
+        )
+
+    def _leg_geometry(self, state: _ObjectState) -> Tuple[float, float, float, float]:
+        """(ux, uy, length, arrival_time) of the current leg."""
+        tx, ty = self.network.node_position(state.to_node)
+        dx, dy = tx - state.x, ty - state.y
+        length = float(np.hypot(dx, dy))
+        if length <= 0 or state.speed <= 0:
+            return (0.0, 0.0, 0.0, float("inf"))
+        ux, uy = dx / length, dy / length
+        arrival = state.depart_time + length / state.speed
+        return (ux, uy, length, arrival)
+
+    def _advance_object(self, oid: int, t: int) -> None:
+        """Move the object's logical state forward to time ``t``."""
+        state = self._states[oid]
+        while True:
+            ux, uy, length, arrival = self._leg_geometry(state)
+            if arrival > t:
+                break
+            # Arrived at to_node at (fractional) time `arrival`; turn.
+            node = state.to_node
+            if node == state.destination:
+                state = self._new_leg(node, arrival)
+            else:
+                nxt = self.network.greedy_step(node, state.destination, self._rng)
+                x, y = self.network.node_position(node)
+                state = _ObjectState(
+                    at_node=node,
+                    to_node=nxt,
+                    destination=state.destination,
+                    speed=state.speed,
+                    depart_time=arrival,
+                    x=x,
+                    y=y,
+                )
+            self._states[oid] = state
+            if state.to_node == state.at_node:
+                break
+
+    def _report(self, table: ObjectTable, oid: int, t: int) -> None:
+        """Issue a position report at integer time ``t`` and schedule the next."""
+        state = self._states[oid]
+        ux, uy, length, arrival = self._leg_geometry(state)
+        dt = t - state.depart_time
+        x = state.x + ux * state.speed * dt
+        y = state.y + uy * state.speed * dt
+        vx = ux * state.speed
+        vy = uy * state.speed
+        table.report(oid, x, y, vx, vy)
+        self.reports_issued += 1
+        # Next report: when the heading will change (next intersection),
+        # capped by the maximum update interval U.
+        if arrival == float("inf"):
+            next_t = t + self.update_interval
+        else:
+            next_t = min(int(np.ceil(arrival)), t + self.update_interval)
+            if next_t <= t:
+                next_t = t + 1
+        heapq.heappush(self._events, (next_t, oid))

@@ -1,0 +1,1 @@
+"""Experiment harness reproducing every table and figure of Section 7."""

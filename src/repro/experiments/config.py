@@ -1,0 +1,96 @@
+"""Experiment scale profiles.
+
+The paper's evaluation (Table 1) uses datasets of 10 K / 100 K / 500 K
+objects and 20-query workloads — hours of wall-clock in pure Python.  The
+harness therefore defines three profiles with identical *structure* (same
+parameter ratios, same sweeps) and different sizes:
+
+* ``smoke``   — seconds; used by the test suite to exercise the harness;
+* ``default`` — minutes; preserves every qualitative shape of the figures;
+* ``paper``   — the original sizes, for patient hardware.
+
+Select with the ``REPRO_SCALE`` environment variable; EXPERIMENTS.md records
+the profile each reported number was measured under.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.errors import InvalidParameterError
+
+__all__ = ["ScaleProfile", "PROFILES", "active_profile", "VARRHO_SWEEP", "EDGE_SWEEP"]
+
+# The parameter sweeps of Table 1 (identical across profiles).
+VARRHO_SWEEP: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+EDGE_SWEEP: Tuple[float, ...] = (30.0, 60.0)
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """One experiment scale: dataset sizes and workload dimensions."""
+
+    name: str
+    small: int  # the paper's CH10K slot (Figure 7, scalability low end)
+    medium: int  # the paper's CH100K slot (Figures 8-10a default dataset)
+    large: int  # the paper's CH500K slot (scalability high end)
+    n_queries: int  # queries per configuration (paper: 20)
+    warmup: int  # timestamps simulated before measuring
+    network_grid: int  # road-network intersections per side
+    raster_resolution: int  # accuracy-measurement grid
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return (self.small, self.medium, self.large)
+
+    def dataset_name(self, n: int) -> str:
+        """CHxxx-style label used in tables."""
+        if n >= 1000 and n % 1000 == 0:
+            return f"CH{n // 1000}K"
+        return f"CH{n}"
+
+
+PROFILES: Dict[str, ScaleProfile] = {
+    "smoke": ScaleProfile(
+        name="smoke",
+        small=300,
+        medium=800,
+        large=2000,
+        n_queries=2,
+        warmup=10,
+        network_grid=20,
+        raster_resolution=512,
+    ),
+    "default": ScaleProfile(
+        name="default",
+        small=2000,
+        medium=10_000,
+        large=50_000,
+        n_queries=3,
+        warmup=60,
+        network_grid=40,
+        raster_resolution=2048,
+    ),
+    "paper": ScaleProfile(
+        name="paper",
+        small=10_000,
+        medium=100_000,
+        large=500_000,
+        n_queries=20,
+        warmup=60,
+        network_grid=60,
+        raster_resolution=2048,
+    ),
+}
+
+
+def active_profile() -> ScaleProfile:
+    """The profile selected by ``REPRO_SCALE`` (default ``default``)."""
+    name = os.environ.get("REPRO_SCALE", "default").strip().lower()
+    if name not in PROFILES:
+        raise InvalidParameterError(
+            f"REPRO_SCALE={name!r} unknown; choose one of {sorted(PROFILES)}"
+        )
+    return PROFILES[name]

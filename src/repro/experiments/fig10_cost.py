@@ -1,0 +1,95 @@
+"""Figure 10 — total query cost of PA vs exact FR.
+
+* 10(a): total cost (CPU + charged I/O) vs the relative threshold on the
+  medium dataset, for l = 30 and l = 60.  Expected shape: PA is roughly an
+  order of magnitude (or more) cheaper than FR, which pays a spatio-temporal
+  range query per candidate cell plus plane-sweep CPU.
+* 10(b): total cost vs dataset size at l = 30, varrho = 2.  Expected shape:
+  FR grows roughly linearly with the object count; PA is flat (its cost
+  depends only on the coefficient count).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .config import EDGE_SWEEP, VARRHO_SWEEP, ScaleProfile, active_profile
+from .datasets import World, get_world, medium_world_spec, plain_world_spec
+
+__all__ = ["run_fig10a", "run_fig10b"]
+
+
+def run_fig10a(
+    profile: Optional[ScaleProfile] = None, world: Optional[World] = None
+) -> List[Dict]:
+    """Rows: mean total query cost of FR and PA per (l, varrho)."""
+    profile = profile or active_profile()
+    if world is None:
+        world = get_world(medium_world_spec(profile), profile.raster_resolution)
+    server = world.server
+    qts = world.query_times(profile.n_queries)
+    rows: List[Dict] = []
+    for l in EDGE_SWEEP:
+        for varrho in VARRHO_SWEEP:
+            fr_total = fr_cpu = fr_io = pa_total = 0.0
+            for qt in qts:
+                query = server.make_query(qt=qt, l=l, varrho=varrho)
+                fr = server.evaluate("fr", query)
+                pa = world.pa_for(l).query(query)
+                fr_total += fr.stats.total_seconds
+                fr_cpu += fr.stats.cpu_seconds
+                fr_io += fr.stats.io_seconds
+                pa_total += pa.stats.total_seconds
+            n = len(qts)
+            rows.append(
+                {
+                    "l": l,
+                    "varrho": varrho,
+                    "fr_total_s": fr_total / n,
+                    "fr_cpu_s": fr_cpu / n,
+                    "fr_io_s": fr_io / n,
+                    "pa_total_s": pa_total / n,
+                    "speedup": (fr_total / pa_total) if pa_total > 0 else float("inf"),
+                }
+            )
+    return rows
+
+
+def run_fig10b(
+    profile: Optional[ScaleProfile] = None,
+    varrho: float = 2.0,
+    l: float = 30.0,
+) -> List[Dict]:
+    """Rows: mean total query cost of FR and PA per dataset size."""
+    profile = profile or active_profile()
+    rows: List[Dict] = []
+    for n_objects in profile.sizes:
+        world = get_world(
+            plain_world_spec(profile, n_objects), profile.raster_resolution
+        )
+        server = world.server
+        qts = world.query_times(profile.n_queries)
+        fr_total = fr_cpu = fr_io = pa_total = objects = 0.0
+        for qt in qts:
+            query = server.make_query(qt=qt, l=l, varrho=varrho)
+            fr = server.evaluate("fr", query)
+            pa = world.pa_for(l).query(query)
+            fr_total += fr.stats.total_seconds
+            fr_cpu += fr.stats.cpu_seconds
+            fr_io += fr.stats.io_seconds
+            objects += fr.stats.objects_examined
+            pa_total += pa.stats.total_seconds
+        n = len(qts)
+        rows.append(
+            {
+                "dataset": profile.dataset_name(n_objects),
+                "n_objects": n_objects,
+                "fr_total_s": fr_total / n,
+                "fr_cpu_s": fr_cpu / n,
+                "fr_io_s": fr_io / n,
+                "fr_objects_examined": objects / n,
+                "pa_total_s": pa_total / n,
+                "speedup": (fr_total / pa_total) if pa_total > 0 else float("inf"),
+            }
+        )
+    return rows

@@ -1,0 +1,134 @@
+"""Figure 8 — accuracy of PA vs the DH filter step (medium dataset).
+
+* 8(a): false-positive ratio vs the relative threshold, PA vs optimistic DH,
+  for neighborhood edges l = 30 and l = 60;
+* 8(b): false-negative ratio vs the relative threshold, PA vs pessimistic DH;
+* 8(c): false-positive ratio vs memory budget (PA sweeps polynomial count and
+  degree, DH sweeps histogram resolution), at l = 30, varrho = 2;
+* 8(d): the same sweep for the false-negative ratio.
+
+Expected shapes (paper): PA stays below ~10 % error while DH reaches
+~100-200 %; both error ratios *grow* with the threshold (the denominator
+``area(D)`` shrinks); error falls with memory for both methods but PA
+dominates DH even at a fraction of the memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..histogram.answers import dh_optimistic, dh_pessimistic
+from .config import EDGE_SWEEP, VARRHO_SWEEP, ScaleProfile, active_profile
+from .datasets import World, get_world, medium_world_spec
+
+__all__ = ["run_fig8ab", "run_fig8cd"]
+
+
+def _medium_world(profile: ScaleProfile, world: Optional[World]) -> World:
+    if world is not None:
+        return world
+    return get_world(medium_world_spec(profile), profile.raster_resolution)
+
+
+def run_fig8ab(
+    profile: Optional[ScaleProfile] = None, world: Optional[World] = None
+) -> List[Dict]:
+    """Rows for Figures 8(a) and 8(b): error ratios vs threshold and l."""
+    profile = profile or active_profile()
+    world = _medium_world(profile, world)
+    server = world.server
+    qts = world.query_times(profile.n_queries)
+    rows: List[Dict] = []
+    for l in EDGE_SWEEP:
+        for varrho in VARRHO_SWEEP:
+            acc = {"pa_fp": 0.0, "pa_fn": 0.0, "dh_opt_fp": 0.0, "dh_pess_fn": 0.0}
+            for qt in qts:
+                query = server.make_query(qt=qt, l=l, varrho=varrho)
+                exact = world.exact_answer(query).regions
+                pa = world.pa_for(l).query(query).regions
+                opt = dh_optimistic(server.histogram, query).regions
+                pess = dh_pessimistic(server.histogram, query).regions
+                a_pa = world.raster.accuracy(exact, pa)
+                a_opt = world.raster.accuracy(exact, opt)
+                a_pess = world.raster.accuracy(exact, pess)
+                acc["pa_fp"] += a_pa.r_fp
+                acc["pa_fn"] += a_pa.r_fn
+                acc["dh_opt_fp"] += a_opt.r_fp
+                acc["dh_pess_fn"] += a_pess.r_fn
+            n = len(qts)
+            rows.append(
+                {
+                    "l": l,
+                    "varrho": varrho,
+                    "r_fp_pa_pct": 100.0 * acc["pa_fp"] / n,
+                    "r_fp_dh_optimistic_pct": 100.0 * acc["dh_opt_fp"] / n,
+                    "r_fn_pa_pct": 100.0 * acc["pa_fn"] / n,
+                    "r_fn_dh_pessimistic_pct": 100.0 * acc["dh_pess_fn"] / n,
+                }
+            )
+    return rows
+
+
+def run_fig8cd(
+    profile: Optional[ScaleProfile] = None,
+    world: Optional[World] = None,
+    varrho: float = 2.0,
+    l: float = 30.0,
+) -> List[Dict]:
+    """Rows for Figures 8(c) and 8(d): error ratios vs memory budget."""
+    profile = profile or active_profile()
+    world = _medium_world(profile, world)
+    server = world.server
+    qts = world.query_times(profile.n_queries)
+
+    # PA sweep: every maintained polynomial variant at this l.
+    pa_points = []
+    spec = world.spec
+    pa_points.append((spec.polynomial_grid, spec.polynomial_degree, server.pa))
+    for (g, k, vl), pa in world.extra_pa.items():
+        if abs(vl - l) < 1e-9:
+            pa_points.append((g, k, pa))
+    # DH sweep: every maintained histogram resolution.
+    dh_points = [(spec.histogram_cells, server.histogram)]
+    for m, hist in world.extra_histograms.items():
+        dh_points.append((m, hist))
+
+    rows: List[Dict] = []
+    for g, k, pa in sorted(pa_points, key=lambda p: p[2].memory_bytes()):
+        fp = fn = 0.0
+        for qt in qts:
+            query = server.make_query(qt=qt, l=l, varrho=varrho)
+            exact = world.exact_answer(query).regions
+            report = world.raster.accuracy(exact, pa.query(query).regions)
+            fp += report.r_fp
+            fn += report.r_fn
+        n = len(qts)
+        rows.append(
+            {
+                "method": "PA",
+                "config": f"g={g} k={k}",
+                "memory_mb": pa.memory_bytes() / 1e6,
+                "r_fp_pct": 100.0 * fp / n,
+                "r_fn_pct": 100.0 * fn / n,
+            }
+        )
+    for m, hist in sorted(dh_points, key=lambda p: p[1].memory_bytes()):
+        fp = fn = 0.0
+        for qt in qts:
+            query = server.make_query(qt=qt, l=l, varrho=varrho)
+            exact = world.exact_answer(query).regions
+            opt = dh_optimistic(hist, query).regions
+            pess = dh_pessimistic(hist, query).regions
+            fp += world.raster.accuracy(exact, opt).r_fp
+            fn += world.raster.accuracy(exact, pess).r_fn
+        n = len(qts)
+        rows.append(
+            {
+                "method": "DH",
+                "config": f"m={m}",
+                "memory_mb": hist.memory_bytes() / 1e6,
+                "r_fp_pct": 100.0 * fp / n,  # optimistic DH
+                "r_fn_pct": 100.0 * fn / n,  # pessimistic DH
+            }
+        )
+    return rows

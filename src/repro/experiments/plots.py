@@ -1,0 +1,108 @@
+"""ASCII line charts for the experiment report.
+
+The paper communicates its evaluation through line plots; a terminal-only
+reproduction still benefits from *seeing* the trends, not just the tables.
+:func:`ascii_chart` renders one or more named series over a shared x axis
+as a fixed-size character grid with a log-scale option (several figures
+span orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import InvalidParameterError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x@#%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: Optional[str] = None,
+    x_label: str = "",
+) -> str:
+    """Render ``series`` (name -> y values over ``xs``) as an ASCII chart."""
+    if not series:
+        raise InvalidParameterError("need at least one series")
+    if width < 10 or height < 4:
+        raise InvalidParameterError("chart too small to render")
+    n = len(xs)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise InvalidParameterError(
+                f"series {name!r} has {len(ys)} points, x axis has {n}"
+            )
+    if n < 2:
+        raise InvalidParameterError("need at least two x points")
+
+    def transform(v: float) -> float:
+        if not log_y:
+            return v
+        return math.log10(max(v, 1e-12))
+
+    all_vals = [transform(v) for ys in series.values() for v in ys]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        # Plot line segments between consecutive points.
+        points = []
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((transform(y) - lo) / (hi - lo) * (height - 1))
+            points.append((col, height - 1 - row))
+        for (c1, r1), (c2, r2) in zip(points, points[1:]):
+            steps = max(abs(c2 - c1), abs(r2 - r1), 1)
+            for s in range(steps + 1):
+                c = round(c1 + (c2 - c1) * s / steps)
+                r = round(r1 + (r2 - r1) * s / steps)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for c, r in points:
+            grid[r][c] = marker
+
+    y_top = _format_tick(10 ** hi if log_y else hi)
+    y_bot = _format_tick(10 ** lo if log_y else lo)
+    gutter = max(len(y_top), len(y_bot)) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(label.rjust(gutter) + " |" + "".join(row))
+    axis = " " * gutter + " +" + "-" * width
+    lines.append(axis)
+    x_left = _format_tick(float(x_lo))
+    x_right = _format_tick(float(x_hi))
+    footer = (
+        " " * gutter + "  " + x_left
+        + x_right.rjust(width - len(x_left))
+    )
+    lines.append(footer)
+    legend = "   ".join(
+        f"{_MARKERS[idx % len(_MARKERS)]} {name}" for idx, name in enumerate(series)
+    )
+    scale = " (log y)" if log_y else ""
+    lines.append(" " * gutter + "  " + legend + (f"   [{x_label}]" if x_label else "") + scale)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment output.
+
+Each figure runner returns a list of row dicts; :func:`format_table` lays
+them out with aligned columns so the bench output reads like the paper's
+tables.  Nothing here affects measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells.append([format_value(row.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

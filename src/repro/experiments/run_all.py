@@ -1,0 +1,146 @@
+"""Run the whole evaluation and print every table/figure.
+
+Usage::
+
+    REPRO_SCALE=default python -m repro.experiments.run_all
+
+The output is what EXPERIMENTS.md records: Table 1 (setup), Figure 7
+(qualitative example), Figures 8(a-d) (accuracy), 9(a-b) (CPU) and
+10(a-b) (total cost and scalability).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .config import active_profile
+from .datasets import get_world, medium_world_spec
+from .fig7_example import run_fig7
+from .fig8_accuracy import run_fig8ab, run_fig8cd
+from .fig9_cpu import run_fig9a, run_fig9b
+from .fig10_cost import run_fig10a, run_fig10b
+from .plots import ascii_chart
+from .report import format_table
+from .table1 import run_table1
+
+
+def _chart_by_l(rows, y_keys, l, title, log_y=False):
+    """Chart helper: one series per y key, filtered to one l value."""
+    sub = [r for r in rows if r.get("l", l) == l]
+    xs = [r["varrho"] for r in sub]
+    series = {key: [r[key] for r in sub] for key in y_keys}
+    return ascii_chart(xs, series, title=title, x_label="varrho", log_y=log_y)
+
+
+def main(argv=None) -> int:
+    profile = active_profile()
+    out = sys.stdout
+    started = time.time()
+    print(f"# PDR reproduction — full evaluation (profile: {profile.name})", file=out)
+
+    print(format_table(run_table1(profile), title="\n## Table 1 — setup"), file=out)
+
+    fig7 = run_fig7(profile)
+    print("\n## Figure 7 — example (small dataset)", file=out)
+    print(fig7.combined(), file=out)
+    print(
+        f"FR: {fig7.fr_rects} rects, area {fig7.fr_area:,.0f}; "
+        f"PA: {fig7.pa_rects} rects, area {fig7.pa_area:,.0f}; "
+        f"Jaccard(FR, PA) = {fig7.jaccard:.3f}",
+        file=out,
+    )
+
+    world = get_world(medium_world_spec(profile), profile.raster_resolution)
+    rows8 = run_fig8ab(profile, world)
+    print(
+        format_table(
+            rows8,
+            columns=["l", "varrho", "r_fp_pa_pct", "r_fp_dh_optimistic_pct"],
+            title="\n## Figure 8(a) — false-positive ratio (%) vs threshold",
+        ),
+        file=out,
+    )
+    print(
+        format_table(
+            rows8,
+            columns=["l", "varrho", "r_fn_pa_pct", "r_fn_dh_pessimistic_pct"],
+            title="\n## Figure 8(b) — false-negative ratio (%) vs threshold",
+        ),
+        file=out,
+    )
+    print(file=out)
+    print(
+        _chart_by_l(
+            rows8,
+            ["r_fp_pa_pct", "r_fp_dh_optimistic_pct"],
+            l=30.0,
+            title="Figure 8(a) as a chart (l=30): r_fp %",
+        ),
+        file=out,
+    )
+    rows8cd = run_fig8cd(profile, world)
+    print(
+        format_table(
+            rows8cd,
+            title="\n## Figure 8(c,d) — error ratio (%) vs memory (l=30, varrho=2)",
+        ),
+        file=out,
+    )
+    print(
+        format_table(run_fig9a(profile, world), title="\n## Figure 9(a) — query CPU"),
+        file=out,
+    )
+    print(
+        format_table(
+            run_fig9b(profile, world), title="\n## Figure 9(b) — per-update CPU"
+        ),
+        file=out,
+    )
+    rows10a = run_fig10a(profile, world)
+    print(
+        format_table(
+            rows10a,
+            title="\n## Figure 10(a) — total query cost vs threshold",
+        ),
+        file=out,
+    )
+    print(file=out)
+    print(
+        _chart_by_l(
+            rows10a,
+            ["fr_total_s", "pa_total_s"],
+            l=30.0,
+            title="Figure 10(a) as a chart (l=30): total cost, seconds",
+            log_y=True,
+        ),
+        file=out,
+    )
+    rows10b = run_fig10b(profile)
+    print(
+        format_table(
+            rows10b,
+            title="\n## Figure 10(b) — total query cost vs dataset size",
+        ),
+        file=out,
+    )
+    print(file=out)
+    print(
+        ascii_chart(
+            [r["n_objects"] for r in rows10b],
+            {
+                "fr_cpu_s": [r["fr_cpu_s"] for r in rows10b],
+                "pa_total_s": [r["pa_total_s"] for r in rows10b],
+            },
+            title="Figure 10(b) as a chart: work vs dataset size",
+            x_label="objects",
+            log_y=True,
+        ),
+        file=out,
+    )
+    print(f"\n(total wall time: {time.time() - started:.0f}s)", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

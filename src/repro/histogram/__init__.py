@@ -1,0 +1,17 @@
+"""Density histograms: maintenance, the FR filter step, and DH baselines."""
+
+from .answers import dh_optimistic, dh_pessimistic
+from .density_histogram import DensityHistogram
+from .filter import FilterResult, filter_query, neighborhood_radii
+from .interval_filter import IntervalFilterResult, filter_query_interval
+
+__all__ = [
+    "DensityHistogram",
+    "FilterResult",
+    "filter_query",
+    "neighborhood_radii",
+    "IntervalFilterResult",
+    "filter_query_interval",
+    "dh_optimistic",
+    "dh_pessimistic",
+]

@@ -1,0 +1,55 @@
+"""Stand-alone DH answers (the baseline of Figures 8-9).
+
+The filtering step alone can serve as a (coarse) approximate PDR evaluator:
+
+* **optimistic DH** adds every candidate cell to the answer — no false
+  negatives, potentially large false-positive area;
+* **pessimistic DH** drops every candidate cell — no false positives,
+  potentially large false-negative area.
+
+The paper uses these two variants to show that histograms alone are not an
+adequate PDR method (their error ratios reach 100-200 %), motivating both
+the refinement step of FR and the PA method.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.query import QueryResult, QueryStats, SnapshotPDRQuery
+from .density_histogram import DensityHistogram
+from .filter import filter_query
+
+__all__ = ["dh_optimistic", "dh_pessimistic"]
+
+
+def _answer(
+    histogram: DensityHistogram,
+    query: SnapshotPDRQuery,
+    include_candidates: bool,
+    method: str,
+) -> QueryResult:
+    start = time.perf_counter()
+    result = filter_query(histogram, query)
+    region = result.accepted_region()
+    if include_candidates:
+        region = region.union(result.candidate_region())
+    cpu = time.perf_counter() - start
+    stats = QueryStats(
+        method=method,
+        cpu_seconds=cpu,
+        accepted_cells=result.accepted_count,
+        rejected_cells=result.rejected_count,
+        candidate_cells=result.candidate_count,
+    )
+    return QueryResult(regions=region, stats=stats, query=query)
+
+
+def dh_optimistic(histogram: DensityHistogram, query: SnapshotPDRQuery) -> QueryResult:
+    """Accepts plus candidates: zero false negatives."""
+    return _answer(histogram, query, include_candidates=True, method="dh-optimistic")
+
+
+def dh_pessimistic(histogram: DensityHistogram, query: SnapshotPDRQuery) -> QueryResult:
+    """Accepts only: zero false positives."""
+    return _answer(histogram, query, include_candidates=False, method="dh-pessimistic")

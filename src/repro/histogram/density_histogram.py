@@ -1,0 +1,217 @@
+"""Per-timestamp density histograms (Section 5.1 of the paper).
+
+The domain is divided into an ``m x m`` grid and, for every timestamp ``t``
+in the maintained window ``[t_now, t_now + H]``, a counter grid records how
+many objects occupy each cell at ``t``.  An insertion update at ``t_ref``
+projects the object's predicted trajectory over ``[t_ref, t_ref + H]`` and
+increments the counter of the cell the object occupies at each covered
+timestamp; a deletion decrements the same counters for the still-maintained
+part of the retracted trajectory.
+
+The window is a ring buffer of ``H + 1`` slots.  A slot for absolute time
+``t`` is created (zeroed) when ``t_now`` reaches ``t - H``; because an
+insertion issued at ``t_ref`` covers exactly ``[t_ref, t_ref + H]`` and
+``t_ref <= t_now``, every insertion covering ``t`` happens *after* the
+slot's creation, so counters inside the window are exact.  (Objects whose
+last report is older than ``H`` stop contributing to the far end of the
+window — the same guarantee the paper relies on via ``H = U + W``: every
+object re-reports within ``U``, so slots up to ``t_now + W`` are complete.)
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.errors import HorizonError, InvalidParameterError
+from ..core.geometry import Rect
+from ..motion.model import Motion
+from ..motion.updates import DeleteUpdate, InsertUpdate, UpdateListener
+
+__all__ = ["DensityHistogram"]
+
+
+class DensityHistogram(UpdateListener):
+    """Ring-buffered ``(H+1) x m x m`` counter grids."""
+
+    def __init__(self, domain: Rect, m: int, horizon: int, tnow: int = 0) -> None:
+        if m < 1:
+            raise InvalidParameterError(f"grid resolution must be >= 1, got {m}")
+        if horizon < 0:
+            raise InvalidParameterError(f"horizon must be >= 0, got {horizon}")
+        if domain.is_empty():
+            raise InvalidParameterError("domain must have positive area")
+        self.domain = domain
+        self.m = m
+        self.horizon = horizon
+        self._tnow = tnow
+        self._slots = horizon + 1
+        self._counts = np.zeros((self._slots, m, m), dtype=np.int32)
+        # Slot index of absolute time t is t % slots; the invariant is that
+        # _slot_time[t % slots] == t for every t in [tnow, tnow + horizon].
+        self._slot_time = np.zeros(self._slots, dtype=np.int64)
+        for t in range(tnow, tnow + self._slots):
+            self._slot_time[t % self._slots] = t
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    @property
+    def cell_edge(self) -> float:
+        """Cell edge length ``l_c = L / m`` (cells are square iff the domain is)."""
+        return self.domain.width / self.m
+
+    @property
+    def cell_edge_y(self) -> float:
+        return self.domain.height / self.m
+
+    def cell_rect(self, i: int, j: int) -> Rect:
+        """World rectangle of cell ``(i, j)`` (column i, row j), half-open."""
+        lx = self.cell_edge
+        ly = self.cell_edge_y
+        x1 = self.domain.x1 + i * lx
+        y1 = self.domain.y1 + j * ly
+        return Rect(x1, y1, x1 + lx, y1 + ly)
+
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        """Cell indices containing ``(x, y)``; raises for out-of-domain points."""
+        if not self.domain.contains_point(x, y):
+            raise InvalidParameterError(f"point ({x}, {y}) outside histogram domain")
+        i = int((x - self.domain.x1) / self.cell_edge)
+        j = int((y - self.domain.y1) / self.cell_edge_y)
+        return (min(i, self.m - 1), min(j, self.m - 1))
+
+    # ------------------------------------------------------------------
+    # time window
+    # ------------------------------------------------------------------
+    @property
+    def tnow(self) -> int:
+        return self._tnow
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        return (self._tnow, self._tnow + self.horizon)
+
+    def memory_bytes(self) -> int:
+        """Counter storage, the paper's ``H * m^2`` figure (4-byte counters)."""
+        return self._counts.size * 4
+
+    def on_advance(self, tnow: int) -> None:
+        if tnow < self._tnow:
+            raise InvalidParameterError(f"clock moved backwards to {tnow}")
+        steps = tnow - self._tnow
+        if steps >= self._slots:
+            # The whole window expired; reset everything.
+            self._counts[:] = 0
+            for t in range(tnow, tnow + self._slots):
+                self._slot_time[t % self._slots] = t
+        else:
+            for t_old in range(self._tnow, tnow):
+                slot = t_old % self._slots
+                self._counts[slot] = 0
+                self._slot_time[slot] = t_old + self._slots
+        self._tnow = tnow
+
+    def _covered_times(self, t_from: int, t_to: int) -> np.ndarray:
+        """Timestamps in both the window and ``[t_from, t_to]``."""
+        lo = max(t_from, self._tnow)
+        hi = min(t_to, self._tnow + self.horizon)
+        if hi < lo:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(lo, hi + 1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # update stream
+    # ------------------------------------------------------------------
+    def on_insert(self, update: InsertUpdate) -> None:
+        self._scatter(update.motion, update.tnow, update.tnow + self.horizon, +1)
+
+    def on_delete(self, update: DeleteUpdate) -> None:
+        motion = update.motion
+        self._scatter(motion, motion.t_ref, motion.t_ref + self.horizon, -1)
+
+    def _scatter(self, motion: Motion, t_from: int, t_to: int, sign: int) -> None:
+        ts = self._covered_times(t_from, t_to)
+        if ts.size == 0:
+            return
+        xs, ys = motion.positions_at(ts)
+        ix = np.floor((xs - self.domain.x1) / self.cell_edge).astype(np.int64)
+        iy = np.floor((ys - self.domain.y1) / self.cell_edge_y).astype(np.int64)
+        inside = (ix >= 0) & (ix < self.m) & (iy >= 0) & (iy < self.m)
+        if not inside.all():
+            ts, ix, iy = ts[inside], ix[inside], iy[inside]
+        slots = ts % self._slots
+        np.add.at(self._counts, (slots, ix, iy), sign)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def counts_at(self, qt: int) -> np.ndarray:
+        """The ``m x m`` counter grid for timestamp ``qt`` (a view, do not mutate)."""
+        if not (self._tnow <= qt <= self._tnow + self.horizon):
+            raise HorizonError(
+                f"timestamp {qt} outside maintained window {self.window}"
+            )
+        slot = qt % self._slots
+        if self._slot_time[slot] != qt:  # pragma: no cover - internal invariant
+            raise HorizonError(f"ring-buffer slot for {qt} not materialised")
+        return self._counts[slot]
+
+    def total_at(self, qt: int) -> int:
+        """Number of (in-domain, in-window) object contributions at ``qt``."""
+        return int(self.counts_at(qt).sum())
+
+    def prefix_sums(self, qt: int) -> np.ndarray:
+        """2-D inclusive prefix sums ``P`` with a zero border.
+
+        ``P[i+1, j+1] - P[i0, j+1] - P[i+1, j0] + P[i0, j0]`` is the count of
+        the cell block ``[i0..i] x [j0..j]``.
+        """
+        counts = self.counts_at(qt)
+        prefix = np.zeros((self.m + 1, self.m + 1), dtype=np.int64)
+        prefix[1:, 1:] = counts.astype(np.int64).cumsum(axis=0).cumsum(axis=1)
+        return prefix
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> dict:
+        """Raw state for snapshotting (see :mod:`repro.storage.snapshot`)."""
+        return {
+            "counts": self._counts.copy(),
+            "slot_time": self._slot_time.copy(),
+            "tnow": np.int64(self._tnow),
+        }
+
+    def load_state_arrays(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_arrays` (shapes must match)."""
+        counts = np.asarray(state["counts"], dtype=np.int32)
+        slot_time = np.asarray(state["slot_time"], dtype=np.int64)
+        if counts.shape != self._counts.shape:
+            raise InvalidParameterError(
+                f"snapshot shape {counts.shape} does not match histogram "
+                f"{self._counts.shape}"
+            )
+        self._counts = counts
+        self._slot_time = slot_time
+        self._tnow = int(state["tnow"])
+
+    @staticmethod
+    def block_sums(prefix: np.ndarray, radius: int) -> np.ndarray:
+        """Count in the ``(2*radius+1)^2`` block around every cell (clipped).
+
+        ``radius`` may be 0 (the cell itself).  Returns an ``m x m`` array.
+        """
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be >= 0, got {radius}")
+        m = prefix.shape[0] - 1
+        idx = np.arange(m)
+        lo = np.clip(idx - radius, 0, m)
+        hi = np.clip(idx + radius + 1, 0, m)
+        return (
+            prefix[np.ix_(hi, hi)]
+            - prefix[np.ix_(lo, hi)]
+            - prefix[np.ix_(hi, lo)]
+            + prefix[np.ix_(lo, lo)]
+        )

@@ -1,0 +1,8 @@
+"""Moving-object indexes: the TPR-tree and the B^x-tree (over a B+-tree)."""
+
+from .bplus import BPlusTree
+from .bx import BxTree
+from .tpbr import TPBR
+from .tree import TPRTree
+
+__all__ = ["TPBR", "TPRTree", "BPlusTree", "BxTree"]

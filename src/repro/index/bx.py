@@ -1,0 +1,193 @@
+"""The B^x-tree: B+-tree indexing of moving objects (Jensen et al., VLDB 2004).
+
+The paper's Section 2 notes that any index for linearly moving objects can
+serve the refinement step; the B^x-tree is the main alternative to the
+TPR-tree it cites.  The idea: partition time into phases of duration
+``delta``; an object inserted at time ``t`` is assigned the *label
+timestamp* ``tl = (floor(t / delta) + 1) * delta`` and stored in a plain
+B+-tree under the key ``partition(tl) . zcode(position-at-tl)``.
+
+A range query ``(R, tq)`` visits every live partition: the object's stored
+position is its position at ``tl``, so it lies within ``R`` enlarged by
+``v_max * |tq - tl|`` where ``v_max`` bounds object speed.  The enlarged
+rectangle is decomposed into Z-curve runs, each run is a B+-tree range scan
+(paying buffer I/O), and candidates are filtered exactly against their
+actual motion.
+
+This implementation mirrors the update/query interface of
+:class:`~repro.index.tree.TPRTree`, so :class:`~repro.methods.fr.FRMethod`
+accepts either index — the basis of the index ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..core.errors import IndexError_, InvalidParameterError
+from ..core.geometry import Rect
+from ..motion.model import Motion
+from ..motion.updates import DeleteUpdate, InsertUpdate, UpdateListener
+from ..storage.buffer import BufferPool
+from ..storage.pages import DEFAULT_PAGE_MODEL, PageModel
+from .bplus import BPlusTree
+from .zorder import ZGrid
+
+__all__ = ["BxTree"]
+
+
+class BxTree(UpdateListener):
+    """A B^x-tree over a :class:`~repro.index.bplus.BPlusTree` backbone."""
+
+    def __init__(
+        self,
+        domain: Rect,
+        horizon: float,
+        phase_length: Optional[int] = None,
+        bits: int = 8,
+        max_speed_hint: float = 0.0,
+        page_model: PageModel = DEFAULT_PAGE_MODEL,
+        buffer_pool: Optional[BufferPool] = None,
+        tnow: int = 0,
+        fanout_override: Optional[int] = None,
+    ) -> None:
+        if horizon <= 0:
+            raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+        self.domain = domain
+        self.horizon = horizon
+        # The B^x-tree typically uses delta = U / n with small n; half the
+        # horizon's update component is a reasonable default.
+        self.phase_length = phase_length if phase_length is not None else max(
+            1, int(horizon) // 4
+        )
+        if self.phase_length < 1:
+            raise InvalidParameterError("phase_length must be >= 1")
+        self.grid = ZGrid(domain, bits=bits)
+        self._tnow = float(tnow)
+        self._max_speed = float(max_speed_hint)
+        fanout = (
+            fanout_override if fanout_override is not None else page_model.leaf_fanout
+        )
+        self._btree = BPlusTree(fanout=fanout, buffer_pool=buffer_pool)
+        self._key_of: Dict[int, int] = {}  # oid -> stored key
+        self._partition_count: Dict[int, int] = {}  # partition -> live entries
+        # Per-partition speed bound for query enlargement (the original
+        # B^x-tree maintains per-partition velocity histograms; a scalar
+        # max is the simplest sound variant).  Never decreased on delete.
+        self._partition_speed: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # UpdateListener protocol
+    # ------------------------------------------------------------------
+    def on_insert(self, update: InsertUpdate) -> None:
+        self._tnow = max(self._tnow, float(update.tnow))
+        self.insert(update.motion)
+
+    def on_delete(self, update: DeleteUpdate) -> None:
+        self._tnow = max(self._tnow, float(update.tnow))
+        self.delete(update.motion)
+
+    def on_advance(self, tnow: int) -> None:
+        self._tnow = max(self._tnow, float(tnow))
+
+    # ------------------------------------------------------------------
+    # key construction
+    # ------------------------------------------------------------------
+    def label_timestamp(self, t: float) -> int:
+        """The phase-boundary label for a motion registered at ``t``."""
+        return (int(math.floor(t / self.phase_length)) + 1) * self.phase_length
+
+    def _partition(self, tl: int) -> int:
+        return tl // self.phase_length
+
+    def _key(self, motion: Motion) -> int:
+        tl = self.label_timestamp(motion.t_ref)
+        x, y = motion.position_at(tl)
+        return self._partition(tl) * self.grid.code_count + self.grid.code_of(x, y)
+
+    # ------------------------------------------------------------------
+    # public API (mirrors TPRTree)
+    # ------------------------------------------------------------------
+    @property
+    def buffer(self) -> Optional[BufferPool]:
+        return self._btree.buffer
+
+    def __len__(self) -> int:
+        return len(self._key_of)
+
+    @property
+    def max_speed(self) -> float:
+        return self._max_speed
+
+    def insert(self, motion: Motion) -> None:
+        if motion.oid in self._key_of:
+            raise IndexError_(
+                f"object {motion.oid} already indexed; delete its old motion first"
+            )
+        key = self._key(motion)
+        self._btree.insert(key, motion)
+        self._key_of[motion.oid] = key
+        partition = key // self.grid.code_count
+        self._partition_count[partition] = self._partition_count.get(partition, 0) + 1
+        speed = motion.speed
+        self._max_speed = max(self._max_speed, speed)
+        if speed > self._partition_speed.get(partition, 0.0):
+            self._partition_speed[partition] = speed
+
+    def delete(self, motion: Motion) -> None:
+        key = self._key_of.pop(motion.oid, None)
+        if key is None:
+            raise IndexError_(f"object {motion.oid} is not indexed")
+        self._btree.delete(key, match=lambda m: m.oid == motion.oid)
+        partition = key // self.grid.code_count
+        remaining = self._partition_count[partition] - 1
+        if remaining:
+            self._partition_count[partition] = remaining
+        else:
+            del self._partition_count[partition]
+
+    def range_query(self, rect: Rect, qt: float, charge_io: bool = True) -> List[Motion]:
+        """Objects whose predicted position at ``qt`` lies in ``rect`` (closed).
+
+        Visits every live partition with its speed-enlarged query window;
+        results are filtered exactly, so the answer matches
+        :meth:`TPRTree.range_query` on the same contents.
+        """
+        if qt < self._tnow:
+            raise IndexError_(
+                f"B^x-tree queries are only valid for t >= {self._tnow}, got {qt}"
+            )
+        results: List[Motion] = []
+        seen = set()
+        for partition in list(self._partition_count):
+            tl = partition * self.phase_length
+            speed_bound = self._partition_speed.get(partition, self._max_speed)
+            margin = speed_bound * abs(qt - tl)
+            enlarged = rect.expanded(margin)
+            base = partition * self.grid.code_count
+            for lo, hi in self.grid.rect_runs(enlarged):
+                for _key, motion in self._btree.range_scan(
+                    base + lo, base + hi, charge_io=charge_io
+                ):
+                    if motion.oid in seen:
+                        continue
+                    x, y = motion.position_at(qt)
+                    if rect.x1 <= x <= rect.x2 and rect.y1 <= y <= rect.y2:
+                        seen.add(motion.oid)
+                        results.append(motion)
+        return results
+
+    def validate(self) -> None:
+        """Invariants: backbone structure, key map and partition counters."""
+        self._btree.validate()
+        if len(self._btree) != len(self._key_of):
+            raise IndexError_("B+-tree size disagrees with the key map")
+        counts: Dict[int, int] = {}
+        for oid, key in self._key_of.items():
+            stored = self._btree.search(key)
+            if not any(m.oid == oid for m in stored):
+                raise IndexError_(f"object {oid} missing under its mapped key")
+            partition = key // self.grid.code_count
+            counts[partition] = counts.get(partition, 0) + 1
+        if counts != self._partition_count:
+            raise IndexError_("partition counters out of sync")

@@ -1,0 +1,86 @@
+"""TPR-tree nodes.
+
+A node corresponds to one disk page (see :mod:`repro.storage.pages`).  Leaf
+nodes hold :class:`~repro.motion.model.Motion` entries; internal nodes hold
+child nodes.  Every node carries a :class:`~repro.index.tpbr.TPBR` bounding
+all entries for every time at or after the bound's anchor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..core.errors import IndexError_
+from ..motion.model import Motion
+from .tpbr import TPBR
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One TPR-tree node / disk page."""
+
+    __slots__ = ("page_id", "level", "entries", "parent", "bound")
+
+    def __init__(self, page_id: int, level: int, t_ref: float) -> None:
+        self.page_id = page_id
+        self.level = level  # 0 = leaf
+        self.entries: List[Union[Motion, "Node"]] = []
+        self.parent: Optional["Node"] = None
+        self.bound: TPBR = TPBR.empty(t_ref)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, entry: Union[Motion, "Node"]) -> None:
+        """Append an entry and grow the bound; sets child parent pointers."""
+        self.entries.append(entry)
+        if isinstance(entry, Node):
+            if self.is_leaf:
+                raise IndexError_("cannot add a child node to a leaf")
+            entry.parent = self
+            if self.bound.is_empty():
+                self.bound = TPBR.empty(self.bound.t_ref)
+            self.bound.extend_tpbr(entry.bound)
+        else:
+            if not self.is_leaf:
+                raise IndexError_("cannot add a motion to an internal node")
+            self.bound.extend_motion(entry)
+
+    def retighten(self, t_ref: float) -> None:
+        """Recompute the bound from scratch, anchored at ``t_ref``.
+
+        Called after deletions (bounds may shrink) and periodically on
+        updates; this is the TPR-tree's "tightening" step.
+        """
+        bound = TPBR.empty(t_ref)
+        if self.is_leaf:
+            for motion in self.entries:
+                bound.extend_motion(motion)
+        else:
+            for child in self.entries:
+                bound.extend_tpbr(child.bound)
+        self.bound = bound
+
+    def iter_subtree_motions(self):
+        """Yield every motion stored at or below this node."""
+        if self.is_leaf:
+            yield from self.entries
+        else:
+            for child in self.entries:
+                yield from child.iter_subtree_motions()
+
+    def subtree_nodes(self):
+        """Yield every node of the subtree rooted here (preorder)."""
+        yield self
+        if not self.is_leaf:
+            for child in self.entries:
+                yield from child.subtree_nodes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"

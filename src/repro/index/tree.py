@@ -1,0 +1,296 @@
+"""The TPR-tree: a time-parameterized R-tree over linearly moving points.
+
+This is the index the paper assumes for the refinement step of the FR
+method (Section 4): it stores predicted trajectories, supports insertion and
+deletion driven by the location-update protocol, and answers timestamped
+spatial range queries.  Query page accesses are routed through a simulated
+:class:`~repro.storage.buffer.BufferPool` so the experiment harness can
+charge I/O exactly as the paper does; update I/O is deliberately *not*
+charged (Section 4: index maintenance is shared with other query types).
+
+Implementation notes
+--------------------
+* Insertion descends by minimum enlargement of the *integral* bounding area
+  over the horizon window ``[t_now, t_now + H]`` and splits overflowing
+  nodes with the axis-sweep heuristic of :mod:`repro.index.split`.
+* Deletion locates leaves through an object-id -> leaf map (a standard
+  implementation shortcut that avoids float-equality MBR searches; I/O
+  accounting is unaffected because only queries are charged).
+* Underflowing nodes are condensed: the node is removed and its remaining
+  entries reinserted, as in Guttman's R-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.errors import IndexError_, InvalidParameterError
+from ..core.geometry import Rect
+from ..motion.model import Motion
+from ..motion.updates import DeleteUpdate, InsertUpdate, UpdateListener
+from ..storage.buffer import BufferPool
+from ..storage.pages import DEFAULT_PAGE_MODEL, PageModel
+from .node import Node
+from .split import pick_split
+from .tpbr import TPBR
+
+__all__ = ["TPRTree"]
+
+
+class TPRTree(UpdateListener):
+    """Disk-page-shaped TPR-tree with simulated I/O accounting."""
+
+    def __init__(
+        self,
+        horizon: float,
+        page_model: PageModel = DEFAULT_PAGE_MODEL,
+        buffer_pool: Optional[BufferPool] = None,
+        tnow: int = 0,
+        fanout_override: Optional[int] = None,
+    ) -> None:
+        if horizon <= 0:
+            raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+        self.horizon = horizon
+        self.page_model = page_model
+        self.buffer = buffer_pool
+        self._tnow = float(tnow)
+        if fanout_override is not None:
+            if fanout_override < 4:
+                raise InvalidParameterError("fanout_override must be >= 4")
+            self._leaf_fanout = fanout_override
+            self._internal_fanout = fanout_override
+        else:
+            self._leaf_fanout = page_model.leaf_fanout
+            self._internal_fanout = page_model.internal_fanout
+        self._min_fill_leaf = max(2, self._leaf_fanout * 2 // 5)
+        self._min_fill_internal = max(2, self._internal_fanout * 2 // 5)
+        self._next_page = 0
+        self._leaf_of: Dict[int, Node] = {}
+        self.root = self._new_node(level=0)
+
+    # ------------------------------------------------------------------
+    # UpdateListener protocol
+    # ------------------------------------------------------------------
+    def on_insert(self, update: InsertUpdate) -> None:
+        self._tnow = max(self._tnow, float(update.tnow))
+        self.insert(update.motion)
+
+    def on_delete(self, update: DeleteUpdate) -> None:
+        self._tnow = max(self._tnow, float(update.tnow))
+        self.delete(update.motion)
+
+    def on_advance(self, tnow: int) -> None:
+        self._tnow = max(self._tnow, float(tnow))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._leaf_of)
+
+    @property
+    def height(self) -> int:
+        return self.root.level + 1
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.root.subtree_nodes())
+
+    def insert(self, motion: Motion) -> None:
+        """Insert a motion; the object id must not already be present."""
+        if motion.oid in self._leaf_of:
+            raise IndexError_(
+                f"object {motion.oid} already indexed; delete its old motion first"
+            )
+        leaf = self._choose_leaf(motion)
+        leaf.add(motion)
+        self._leaf_of[motion.oid] = leaf
+        self._grow_ancestors(leaf, motion)
+        if len(leaf.entries) > self._leaf_fanout:
+            self._split_upwards(leaf)
+
+    def delete(self, motion: Motion) -> None:
+        """Remove the indexed motion of ``motion.oid``."""
+        leaf = self._leaf_of.pop(motion.oid, None)
+        if leaf is None:
+            raise IndexError_(f"object {motion.oid} is not indexed")
+        for i, entry in enumerate(leaf.entries):
+            if entry.oid == motion.oid:
+                leaf.entries.pop(i)
+                break
+        else:  # pragma: no cover - map/leaf inconsistency
+            raise IndexError_(f"leaf map stale for object {motion.oid}")
+        self._condense(leaf)
+
+    def range_query(self, rect: Rect, qt: float, charge_io: bool = True) -> List[Motion]:
+        """Objects whose predicted position at ``qt`` lies in ``rect`` (closed).
+
+        Visited pages are charged against the buffer pool when ``charge_io``
+        is set.  The returned containment is *closed* on every edge — callers
+        needing half-open semantics re-filter (deliberate superset; see
+        :meth:`TPBR.intersects_rect_at`).
+        """
+        if qt < self._tnow:
+            raise IndexError_(
+                f"TPR-tree bounds are only valid for t >= {self._tnow}, got {qt}"
+            )
+        results: List[Motion] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            self._touch(node, charge_io)
+            if node.is_leaf:
+                for motion in node.entries:
+                    x, y = motion.position_at(qt)
+                    if rect.x1 <= x <= rect.x2 and rect.y1 <= y <= rect.y2:
+                        results.append(motion)
+            else:
+                for child in node.entries:
+                    if child.bound.intersects_rect_at(rect, qt):
+                        stack.append(child)
+        return results
+
+    def all_motions(self) -> List[Motion]:
+        return list(self.root.iter_subtree_motions())
+
+    def validate(self) -> None:
+        """Structural invariants; raises :class:`IndexError_` on violation.
+
+        Checks parent pointers, fanout limits, leaf-map consistency, and the
+        TPR-tree's bounding invariant: **every node's bound contains every
+        motion in its subtree** at the current time and at the horizon end.
+        (Parent bounds need not contain child *bounds* — bounds anchored at
+        different times have different tightness; each is independently
+        sound with respect to the objects beneath it, which is all query
+        pruning relies on.)
+        """
+        seen_oids = set()
+        t_checks = (self._tnow, self._tnow + self.horizon)
+        for node in self.root.subtree_nodes():
+            if node is not self.root and len(node.entries) == 0:
+                raise IndexError_(f"empty non-root node {node.page_id}")
+            limit = self._leaf_fanout if node.is_leaf else self._internal_fanout
+            if len(node.entries) > limit:
+                raise IndexError_(f"node {node.page_id} overflows fanout {limit}")
+            for entry in node.entries:
+                if isinstance(entry, Node):
+                    if entry.parent is not node:
+                        raise IndexError_(f"bad parent pointer under {node.page_id}")
+                else:
+                    if self._leaf_of.get(entry.oid) is not node:
+                        raise IndexError_(f"leaf map stale for object {entry.oid}")
+                    if entry.oid in seen_oids:
+                        raise IndexError_(f"object {entry.oid} indexed twice")
+                    seen_oids.add(entry.oid)
+            for motion in node.iter_subtree_motions():
+                for t in t_checks:
+                    x, y = motion.position_at(t)
+                    outer = node.bound.rect_at(t)
+                    if not (
+                        outer.x1 - 1e-6 <= x <= outer.x2 + 1e-6
+                        and outer.y1 - 1e-6 <= y <= outer.y2 + 1e-6
+                    ):
+                        raise IndexError_(
+                            f"object {motion.oid} escapes node {node.page_id} "
+                            f"bound at t={t}"
+                        )
+        if seen_oids != set(self._leaf_of):
+            raise IndexError_("leaf map does not match tree contents")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _new_node(self, level: int) -> Node:
+        node = Node(self._next_page, level, t_ref=self._tnow)
+        self._next_page += 1
+        return node
+
+    def _touch(self, node: Node, charge_io: bool) -> None:
+        if charge_io and self.buffer is not None:
+            self.buffer.access(node.page_id)
+
+    def _window(self):
+        return self._tnow, self._tnow + self.horizon
+
+    def _choose_leaf(self, motion: Motion) -> Node:
+        t_from, t_to = self._window()
+        node = self.root
+        while not node.is_leaf:
+            best_child = None
+            best_key = None
+            for child in node.entries:
+                base = child.bound.integral_area(t_from, t_to)
+                grown = child.bound.enlarged_integral(motion, t_from, t_to)
+                key = (grown - base, base)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_child = child
+            node = best_child
+        return node
+
+    def _grow_ancestors(self, leaf: Node, motion: Motion) -> None:
+        node = leaf.parent
+        while node is not None:
+            node.bound.extend_motion(motion)
+            node = node.parent
+
+    def _split_upwards(self, node: Node) -> None:
+        t_from, t_to = self._window()
+        while len(node.entries) > (
+            self._leaf_fanout if node.is_leaf else self._internal_fanout
+        ):
+            min_fill = self._min_fill_leaf if node.is_leaf else self._min_fill_internal
+            group_a, group_b = pick_split(node.entries, min_fill, t_from, t_to)
+            sibling = self._new_node(node.level)
+            node.entries = []
+            node.bound = TPBR.empty(t_from)
+            for entry in group_a:
+                node.add(entry)
+            for entry in group_b:
+                sibling.add(entry)
+            if node.is_leaf:
+                for entry in sibling.entries:
+                    self._leaf_of[entry.oid] = sibling
+            parent = node.parent
+            if parent is None:
+                new_root = self._new_node(node.level + 1)
+                new_root.add(node)
+                new_root.add(sibling)
+                self.root = new_root
+                return
+            parent.add(sibling)
+            parent.retighten(t_from)
+            self._retighten_ancestors(parent.parent)
+            node = parent
+
+    def _retighten_ancestors(self, node: Optional[Node]) -> None:
+        t_from, _ = self._window()
+        while node is not None:
+            node.retighten(t_from)
+            node = node.parent
+
+    def _condense(self, node: Node) -> None:
+        """Handle (possible) underflow at ``node`` after a removal."""
+        t_from, _ = self._window()
+        orphans: List[Motion] = []
+        while node.parent is not None:
+            min_fill = self._min_fill_leaf if node.is_leaf else self._min_fill_internal
+            parent = node.parent
+            if len(node.entries) < min_fill:
+                parent.entries.remove(node)
+                orphans.extend(node.iter_subtree_motions())
+                for freed in node.subtree_nodes():
+                    if self.buffer is not None:
+                        self.buffer.invalidate(freed.page_id)
+            else:
+                node.retighten(t_from)
+            node = parent
+        node.retighten(t_from)  # node is now the root
+        if not node.is_leaf and len(node.entries) == 1:
+            self.root = node.entries[0]
+            self.root.parent = None
+            if self.buffer is not None:
+                self.buffer.invalidate(node.page_id)
+        for motion in orphans:
+            self._leaf_of.pop(motion.oid, None)
+            self.insert(motion)
+

@@ -1,0 +1,125 @@
+"""Z-order (Morton) space-filling curve utilities.
+
+The B^x-tree linearises 2-D positions into B+-tree keys with a Z-order
+curve over a ``2^bits x 2^bits`` quantisation grid.  Besides encoding and
+decoding, a range query needs the set of curve *runs* (maximal intervals of
+consecutive codes) covering a rectangle of grid cells; we enumerate the
+covered cells and merge consecutive codes, which is exact and efficient for
+the query-rectangle sizes PDR refinement produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+from ..core.geometry import Rect
+
+__all__ = ["interleave", "deinterleave", "ZGrid"]
+
+_B = [0x5555555555555555, 0x3333333333333333, 0x0F0F0F0F0F0F0F0F, 0x00FF00FF00FF00FF, 0x0000FFFF0000FFFF]
+_S = [1, 2, 4, 8, 16]
+
+
+def _part1by1(x: np.ndarray) -> np.ndarray:
+    """Spread the low 32 bits of ``x`` into even bit positions."""
+    x = x.astype(np.uint64)
+    x = (x | (x << np.uint64(_S[4]))) & np.uint64(_B[4])
+    x = (x | (x << np.uint64(_S[3]))) & np.uint64(_B[3])
+    x = (x | (x << np.uint64(_S[2]))) & np.uint64(_B[2])
+    x = (x | (x << np.uint64(_S[1]))) & np.uint64(_B[1])
+    x = (x | (x << np.uint64(_S[0]))) & np.uint64(_B[0])
+    return x
+
+
+def _compact1by1(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_part1by1`."""
+    x = x.astype(np.uint64) & np.uint64(_B[0])
+    x = (x | (x >> np.uint64(_S[0]))) & np.uint64(_B[1])
+    x = (x | (x >> np.uint64(_S[1]))) & np.uint64(_B[2])
+    x = (x | (x >> np.uint64(_S[2]))) & np.uint64(_B[3])
+    x = (x | (x >> np.uint64(_S[3]))) & np.uint64(_B[4])
+    x = (x | (x >> np.uint64(_S[4]))) & np.uint64(0xFFFFFFFF)
+    return x
+
+
+def interleave(ix, iy):
+    """Morton code(s) of integer cell coordinates (x bits even, y bits odd)."""
+    ix = np.asarray(ix, dtype=np.uint64)
+    iy = np.asarray(iy, dtype=np.uint64)
+    return _part1by1(ix) | (_part1by1(iy) << np.uint64(1))
+
+
+def deinterleave(code):
+    """Inverse of :func:`interleave`; returns ``(ix, iy)``."""
+    code = np.asarray(code, dtype=np.uint64)
+    return _compact1by1(code), _compact1by1(code >> np.uint64(1))
+
+
+class ZGrid:
+    """Quantisation of a world rectangle onto a ``2^bits``-per-side Z-grid."""
+
+    def __init__(self, domain: Rect, bits: int = 8) -> None:
+        if not (1 <= bits <= 16):
+            raise InvalidParameterError(f"bits must be in [1, 16], got {bits}")
+        if domain.is_empty():
+            raise InvalidParameterError("domain must have positive area")
+        self.domain = domain
+        self.bits = bits
+        self.side = 1 << bits
+        self._cw = domain.width / self.side
+        self._ch = domain.height / self.side
+
+    @property
+    def code_count(self) -> int:
+        return self.side * self.side
+
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        """Grid cell of a point; out-of-domain points clamp to the border."""
+        ix = int((x - self.domain.x1) / self._cw)
+        iy = int((y - self.domain.y1) / self._ch)
+        return (
+            min(max(ix, 0), self.side - 1),
+            min(max(iy, 0), self.side - 1),
+        )
+
+    def code_of(self, x: float, y: float) -> int:
+        ix, iy = self.cell_of(x, y)
+        return int(interleave(ix, iy))
+
+    def rect_runs(self, rect: Rect) -> List[Tuple[int, int]]:
+        """Maximal runs ``(lo, hi)`` of Z-codes covering ``rect`` (clamped).
+
+        Every point of ``rect ∩ domain`` quantises to a code inside one of
+        the returned inclusive runs; codes outside the runs map to cells
+        disjoint from ``rect``.
+        """
+        clipped = rect.intersection(self.domain)
+        if clipped.is_empty():
+            # A degenerate query still touches the cell it sits on.
+            clipped = rect
+        ix1, iy1 = self.cell_of(clipped.x1, clipped.y1)
+        # High edges: half-open rectangles include points just below x2/y2.
+        ix2, iy2 = self.cell_of(
+            min(clipped.x2, self.domain.x2) - self._cw * 1e-9,
+            min(clipped.y2, self.domain.y2) - self._ch * 1e-9,
+        )
+        ix2 = max(ix2, ix1)
+        iy2 = max(iy2, iy1)
+        xs = np.arange(ix1, ix2 + 1, dtype=np.uint64)
+        ys = np.arange(iy1, iy2 + 1, dtype=np.uint64)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        codes = np.sort(interleave(gx.ravel(), gy.ravel()).astype(np.int64))
+        runs: List[Tuple[int, int]] = []
+        start = prev = int(codes[0])
+        for code in codes[1:]:
+            code = int(code)
+            if code == prev + 1:
+                prev = code
+                continue
+            runs.append((start, prev))
+            start = prev = code
+        runs.append((start, prev))
+        return runs

@@ -1,0 +1,27 @@
+"""PDR evaluators and derived query services.
+
+The paper's two methods (FR exact, PA approximate), interval-query lifting,
+plus the extensions: continuous monitoring, top-k density peaks and
+range-count estimation.
+"""
+
+from .estimate import estimate_count_dh, estimate_count_pa, exact_count
+from .fr import FRMethod
+from .interval import evaluate_interval, evaluate_interval_fr
+from .monitor import MonitorEvent, PDRMonitor
+from .pa import PAMethod
+from .topk import DensityPeak, top_k_peaks
+
+__all__ = [
+    "FRMethod",
+    "PAMethod",
+    "evaluate_interval",
+    "evaluate_interval_fr",
+    "PDRMonitor",
+    "MonitorEvent",
+    "DensityPeak",
+    "top_k_peaks",
+    "estimate_count_dh",
+    "estimate_count_pa",
+    "exact_count",
+]

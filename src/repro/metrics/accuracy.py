@@ -1,0 +1,78 @@
+"""Accuracy metrics of Section 7.2.
+
+With ``D`` the exact dense region and ``D'`` the region a method reports:
+
+* false-positive ratio ``r_fp = area(D' \\ D) / area(D)`` — may exceed 1
+  (a method can report arbitrarily much spurious area);
+* false-negative ratio ``r_fn = area(D \\ D') / area(D)`` — at most 1.
+
+Both are undefined for an empty exact answer; we report 0 when the method
+also returns empty and ``inf`` for r_fp otherwise, which keeps sweep plots
+well-behaved at extreme thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.regions import RegionSet
+
+__all__ = ["AccuracyReport", "false_positive_ratio", "false_negative_ratio", "accuracy"]
+
+
+def false_positive_ratio(exact: RegionSet, reported: RegionSet) -> float:
+    """``area(reported \\ exact) / area(exact)``."""
+    denom = exact.area()
+    spurious = reported.difference_area(exact)
+    if denom == 0.0:
+        return 0.0 if spurious == 0.0 else float("inf")
+    return spurious / denom
+
+
+def false_negative_ratio(exact: RegionSet, reported: RegionSet) -> float:
+    """``area(exact \\ reported) / area(exact)``."""
+    denom = exact.area()
+    if denom == 0.0:
+        return 0.0
+    return exact.difference_area(reported) / denom
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Both error ratios plus the raw areas behind them."""
+
+    r_fp: float
+    r_fn: float
+    exact_area: float
+    reported_area: float
+    overlap_area: float
+
+    @property
+    def jaccard(self) -> float:
+        """Intersection-over-union — a convenient single-number summary."""
+        union = self.exact_area + self.reported_area - self.overlap_area
+        if union == 0.0:
+            return 1.0
+        return self.overlap_area / union
+
+
+def accuracy(exact: RegionSet, reported: RegionSet) -> AccuracyReport:
+    """Full accuracy report for one query evaluation."""
+    exact_area = exact.area()
+    reported_area = reported.area()
+    overlap = exact.intersection_area(reported)
+    spurious = reported_area - overlap
+    missed = exact_area - overlap
+    if exact_area == 0.0:
+        r_fp = 0.0 if spurious <= 0.0 else float("inf")
+        r_fn = 0.0
+    else:
+        r_fp = spurious / exact_area
+        r_fn = missed / exact_area
+    return AccuracyReport(
+        r_fp=max(r_fp, 0.0),
+        r_fn=max(r_fn, 0.0),
+        exact_area=exact_area,
+        reported_area=reported_area,
+        overlap_area=overlap,
+    )

@@ -1,0 +1,72 @@
+"""Cost aggregation helpers for the experiment harness.
+
+The paper reports *average per-query* CPU cost, I/O cost and total cost over
+a query workload, and *average per-update* maintenance cost.  These helpers
+accumulate :class:`~repro.core.query.QueryStats` (or raw timings) and expose
+the averages the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.query import QueryStats
+
+__all__ = ["CostAccumulator", "UpdateCostTimer"]
+
+
+@dataclass
+class CostAccumulator:
+    """Accumulates per-query statistics for one experimental configuration."""
+
+    samples: List[QueryStats] = field(default_factory=list)
+
+    def add(self, stats: QueryStats) -> None:
+        self.samples.append(stats)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def _mean(self, values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def mean_cpu_seconds(self) -> float:
+        return self._mean([s.cpu_seconds for s in self.samples])
+
+    @property
+    def mean_io_count(self) -> float:
+        return self._mean([float(s.io_count) for s in self.samples])
+
+    @property
+    def mean_io_seconds(self) -> float:
+        return self._mean([s.io_seconds for s in self.samples])
+
+    @property
+    def mean_total_seconds(self) -> float:
+        return self._mean([s.total_seconds for s in self.samples])
+
+    @property
+    def mean_candidate_cells(self) -> float:
+        return self._mean([float(s.candidate_cells) for s in self.samples])
+
+
+@dataclass
+class UpdateCostTimer:
+    """Accumulates per-update maintenance CPU (Figure 9(b))."""
+
+    total_seconds: float = 0.0
+    updates: int = 0
+
+    def record(self, seconds: float, updates: int = 1) -> None:
+        self.total_seconds += seconds
+        self.updates += updates
+
+    @property
+    def mean_seconds_per_update(self) -> float:
+        return self.total_seconds / self.updates if self.updates else 0.0
+
+    @property
+    def mean_millis_per_update(self) -> float:
+        return 1000.0 * self.mean_seconds_per_update

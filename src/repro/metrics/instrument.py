@@ -1,0 +1,40 @@
+"""Instrumentation wrappers for update-cost measurement (Figure 9(b)).
+
+A :class:`TimedListener` decorates any
+:class:`~repro.motion.updates.UpdateListener` and accumulates the CPU spent
+in its insert/delete hooks into an
+:class:`~repro.metrics.cost.UpdateCostTimer`, so the harness can report the
+per-update maintenance cost of the density histogram and the polynomial
+approximation separately while both consume the same update stream.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..motion.updates import DeleteUpdate, InsertUpdate, UpdateListener
+from .cost import UpdateCostTimer
+
+__all__ = ["TimedListener"]
+
+
+class TimedListener(UpdateListener):
+    """Forwards the update stream to ``inner``, timing insert/delete hooks."""
+
+    def __init__(self, inner: UpdateListener, timer: UpdateCostTimer = None) -> None:
+        self.inner = inner
+        self.timer = timer if timer is not None else UpdateCostTimer()
+
+    def on_insert(self, update: InsertUpdate) -> None:
+        start = time.perf_counter()
+        self.inner.on_insert(update)
+        self.timer.record(time.perf_counter() - start)
+
+    def on_delete(self, update: DeleteUpdate) -> None:
+        start = time.perf_counter()
+        self.inner.on_delete(update)
+        self.timer.record(time.perf_counter() - start)
+
+    def on_advance(self, tnow: int) -> None:
+        # Clock advances are bookkeeping, not per-update maintenance cost.
+        self.inner.on_advance(tnow)

@@ -1,0 +1,1 @@
+"""Moving-object substrate: linear motion, update protocol, object table."""

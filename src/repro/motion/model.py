@@ -1,0 +1,54 @@
+"""Linear motion model (Section 4 of the paper).
+
+Each object is a point that reports ``(x, y, vx, vy)`` at a reference
+timestamp; its predicted position at time ``t >= t_ref`` is ``(x + (t -
+t_ref) vx, y + (t - t_ref) vy)``.  A :class:`Motion` is one such report; an
+object's lifetime is a sequence of motions, each superseding the previous
+one through the update protocol in :mod:`repro.motion.updates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.errors import InvalidParameterError
+
+__all__ = ["Motion"]
+
+
+@dataclass(frozen=True)
+class Motion:
+    """One linear movement report of one object."""
+
+    oid: int
+    t_ref: int
+    x: float
+    y: float
+    vx: float
+    vy: float
+
+    def __post_init__(self) -> None:
+        if self.oid < 0:
+            raise InvalidParameterError(f"object id must be >= 0, got {self.oid}")
+
+    def position_at(self, t: float) -> Tuple[float, float]:
+        """Predicted position at time ``t`` under the linear model."""
+        dt = t - self.t_ref
+        return (self.x + dt * self.vx, self.y + dt * self.vy)
+
+    def positions_at(self, ts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`position_at` over an array of timestamps."""
+        dt = np.asarray(ts, dtype=float) - self.t_ref
+        return (self.x + dt * self.vx, self.y + dt * self.vy)
+
+    @property
+    def speed(self) -> float:
+        return float(np.hypot(self.vx, self.vy))
+
+    def with_reference(self, t: int) -> "Motion":
+        """The same trajectory re-anchored at reference time ``t``."""
+        x, y = self.position_at(t)
+        return Motion(self.oid, t, x, y, self.vx, self.vy)

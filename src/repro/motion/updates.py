@@ -1,0 +1,59 @@
+"""Location-update protocol (Section 5.1 of the paper).
+
+Objects communicate with the server through two update kinds:
+
+* an **insertion update** ``(t_now, x, y, vx, vy)`` registers a movement that
+  starts at ``(x, y)`` with the given velocity at time ``t_now``;
+* a **deletion update** ``(t1, t_now, x1, y1, vx, vy)`` retracts, effective at
+  ``t_now``, a movement previously registered at time ``t1``.
+
+A position report from an already-known object therefore expands into a
+deletion of its previous motion followed by an insertion of the new one.
+Every maintained structure (density histograms, Chebyshev coefficients, the
+TPR-tree) subscribes to the same stream through :class:`UpdateListener`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .model import Motion
+
+__all__ = ["InsertUpdate", "DeleteUpdate", "Update", "UpdateListener"]
+
+
+@dataclass(frozen=True)
+class InsertUpdate:
+    """Registers ``motion`` with the server at time ``tnow`` (= motion.t_ref)."""
+
+    tnow: int
+    motion: Motion
+
+
+@dataclass(frozen=True)
+class DeleteUpdate:
+    """Retracts ``motion`` (registered at ``motion.t_ref``) effective at ``tnow``."""
+
+    tnow: int
+    motion: Motion
+
+
+Update = Union[InsertUpdate, DeleteUpdate]
+
+
+class UpdateListener:
+    """Interface for structures maintained against the update stream.
+
+    Subclasses override the hooks they care about; defaults are no-ops so a
+    listener may observe only inserts, only deletes, or only clock advances.
+    """
+
+    def on_insert(self, update: InsertUpdate) -> None:  # noqa: B027 - optional hook
+        """Called for each insertion update."""
+
+    def on_delete(self, update: DeleteUpdate) -> None:  # noqa: B027 - optional hook
+        """Called for each deletion update."""
+
+    def on_advance(self, tnow: int) -> None:  # noqa: B027 - optional hook
+        """Called when the server clock moves forward to ``tnow``."""

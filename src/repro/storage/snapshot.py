@@ -1,0 +1,123 @@
+"""Server state persistence.
+
+A production moving-objects server restarts; re-deriving the density
+histograms and polynomial coefficients would require replaying up to ``H``
+timestamps of updates.  :func:`save_server` serialises the whole maintained
+state — configuration, live motions, histogram counters and Chebyshev
+coefficients — into a single ``.npz`` file, and :func:`load_server`
+reconstructs an equivalent :class:`~repro.core.system.PDRServer`: the
+TPR-tree is rebuilt by re-inserting the live motions (cheap, and the tree's
+exact page layout is not semantically meaningful), while histogram and
+polynomial state is restored bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+import numpy as np
+
+from ..core.config import SystemConfig
+from ..core.errors import StorageError
+from ..core.geometry import Rect
+from ..core.system import PDRServer
+from ..motion.model import Motion
+
+__all__ = ["save_server", "load_server"]
+
+_FORMAT_VERSION = 1
+
+
+def _config_to_dict(config: SystemConfig) -> dict:
+    return {
+        "domain": list(config.domain.as_tuple()),
+        "max_update_interval": config.max_update_interval,
+        "prediction_window": config.prediction_window,
+        "l": config.l,
+        "histogram_cells": config.histogram_cells,
+        "polynomial_grid": config.polynomial_grid,
+        "polynomial_degree": config.polynomial_degree,
+        "evaluation_grid": config.evaluation_grid,
+    }
+
+
+def _config_from_dict(data: dict) -> SystemConfig:
+    x1, y1, x2, y2 = data["domain"]
+    return SystemConfig(
+        domain=Rect(x1, y1, x2, y2),
+        max_update_interval=int(data["max_update_interval"]),
+        prediction_window=int(data["prediction_window"]),
+        l=float(data["l"]),
+        histogram_cells=int(data["histogram_cells"]),
+        polynomial_grid=int(data["polynomial_grid"]),
+        polynomial_degree=int(data["polynomial_degree"]),
+        evaluation_grid=int(data["evaluation_grid"]),
+    )
+
+
+def save_server(server: PDRServer, path: Union[str, "object"]) -> None:
+    """Serialise the server's full maintained state to ``path`` (.npz)."""
+    motions = list(server.table.motions())
+    motion_array = np.array(
+        [(m.oid, m.t_ref, m.x, m.y, m.vx, m.vy) for m in motions], dtype=float
+    ).reshape(len(motions), 6)
+    hist_state = server.histogram.state_arrays()
+    pa_state = server.pa.state_arrays()
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        config_json=np.bytes_(json.dumps(_config_to_dict(server.config)).encode()),
+        tnow=np.int64(server.tnow),
+        motions=motion_array,
+        hist_counts=hist_state["counts"],
+        hist_slot_time=hist_state["slot_time"],
+        pa_coeffs=pa_state["coeffs"],
+        pa_slot_time=pa_state["slot_time"],
+    )
+
+
+def load_server(path: Union[str, "object"], expected_objects: int = 0) -> PDRServer:
+    """Reconstruct a server from :func:`save_server` output.
+
+    ``expected_objects`` sizes the buffer pool; it defaults to the snapshot's
+    object count.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise StorageError(
+                f"snapshot format {version} not supported (expected {_FORMAT_VERSION})"
+            )
+        config = _config_from_dict(json.loads(bytes(data["config_json"]).decode()))
+        tnow = int(data["tnow"])
+        motion_array = data["motions"]
+        motions = [
+            Motion(int(row[0]), int(row[1]), row[2], row[3], row[4], row[5])
+            for row in motion_array
+        ]
+        server = PDRServer(
+            config,
+            expected_objects=expected_objects or max(len(motions), 1),
+            tnow=tnow,
+        )
+        server.table.restore(motions, tnow)
+        server.histogram.load_state_arrays(
+            {
+                "counts": data["hist_counts"],
+                "slot_time": data["hist_slot_time"],
+                "tnow": tnow,
+            }
+        )
+        server.pa.load_state_arrays(
+            {
+                "coeffs": data["pa_coeffs"],
+                "slot_time": data["pa_slot_time"],
+                "tnow": tnow,
+            }
+        )
+    # Rebuild the index by direct insertion (the table must NOT re-notify
+    # the histogram/PA listeners, whose state is already restored).
+    for motion in motions:
+        server.tree.insert(motion)
+    return server

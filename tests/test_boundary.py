@@ -1,0 +1,128 @@
+"""Tests for boundary-ring extraction and GeoJSON export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boundary import boundary_rings, regions_to_geojson, ring_signed_area
+from repro.core.geometry import Rect
+from repro.core.regions import RegionSet
+
+
+def region(*rects):
+    return RegionSet([Rect(*r) for r in rects])
+
+
+class TestSignedArea:
+    def test_ccw_positive(self):
+        assert ring_signed_area([(0, 0), (1, 0), (1, 1), (0, 1)]) == pytest.approx(1.0)
+
+    def test_cw_negative(self):
+        assert ring_signed_area([(0, 0), (0, 1), (1, 1), (1, 0)]) == pytest.approx(-1.0)
+
+    def test_degenerate(self):
+        assert ring_signed_area([(0, 0), (1, 1)]) == 0.0
+
+
+class TestBoundaryRings:
+    def test_empty(self):
+        assert boundary_rings(RegionSet()) == []
+
+    def test_single_rect(self):
+        rings = boundary_rings(region((0, 0, 4, 3)))
+        assert len(rings) == 1
+        ring = rings[0]
+        assert len(ring) == 4
+        assert set(ring) == {(0, 0), (4, 0), (4, 3), (0, 3)}
+        assert ring_signed_area(ring) == pytest.approx(12.0)
+
+    def test_two_disjoint_rects(self):
+        rings = boundary_rings(region((0, 0, 1, 1), (5, 5, 7, 6)))
+        assert len(rings) == 2
+        areas = sorted(ring_signed_area(r) for r in rings)
+        assert areas == pytest.approx([1.0, 2.0])
+
+    def test_adjacent_rects_merge(self):
+        rings = boundary_rings(region((0, 0, 2, 2), (2, 0, 4, 2)))
+        assert len(rings) == 1
+        assert ring_signed_area(rings[0]) == pytest.approx(8.0)
+        assert len(rings[0]) == 4  # collinear vertices merged
+
+    def test_l_shape(self):
+        rings = boundary_rings(region((0, 0, 2, 4), (2, 0, 4, 2)))
+        assert len(rings) == 1
+        ring = rings[0]
+        assert len(ring) == 6
+        assert ring_signed_area(ring) == pytest.approx(12.0)
+
+    def test_donut_has_hole(self):
+        # A 6x6 frame around an empty 2x2 centre.
+        frame = region(
+            (0, 0, 6, 2), (0, 4, 6, 6), (0, 2, 2, 4), (4, 2, 6, 4)
+        )
+        rings = boundary_rings(frame)
+        assert len(rings) == 2
+        areas = sorted(ring_signed_area(r) for r in rings)
+        assert areas[0] == pytest.approx(-4.0)  # hole, clockwise
+        assert areas[1] == pytest.approx(36.0)  # outer, counter-clockwise
+
+    def test_signed_areas_sum_to_region_area(self):
+        rs = region((0, 0, 5, 5), (3, 3, 8, 8), (10, 0, 12, 2))
+        rings = boundary_rings(rs)
+        assert sum(ring_signed_area(r) for r in rings) == pytest.approx(rs.area())
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12),
+                      st.integers(1, 5), st.integers(1, 5)),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_signed_area_identity_property(self, rect_params):
+        rs = RegionSet([Rect(x, y, x + w, y + h) for x, y, w, h in rect_params])
+        rings = boundary_rings(rs)
+        assert sum(ring_signed_area(r) for r in rings) == pytest.approx(rs.area())
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12),
+                      st.integers(1, 5), st.integers(1, 5)),
+            min_size=1, max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rings_are_closed_rectilinear(self, rect_params):
+        rs = RegionSet([Rect(x, y, x + w, y + h) for x, y, w, h in rect_params])
+        for ring in boundary_rings(rs):
+            assert len(ring) >= 4
+            for (x1, y1), (x2, y2) in zip(ring, ring[1:] + ring[:1]):
+                assert (x1 == x2) != (y1 == y2)  # axis-parallel, non-degenerate
+
+
+class TestGeoJson:
+    def test_simple_polygon(self):
+        geo = regions_to_geojson(region((0, 0, 2, 2)))
+        assert geo["type"] == "MultiPolygon"
+        assert len(geo["coordinates"]) == 1
+        outer = geo["coordinates"][0][0]
+        assert outer[0] == outer[-1]  # closed per GeoJSON
+        assert len(outer) == 5
+
+    def test_hole_assigned_to_containing_polygon(self):
+        frame = region((0, 0, 6, 2), (0, 4, 6, 6), (0, 2, 2, 4), (4, 2, 6, 4))
+        island = region((10, 10, 12, 12))
+        geo = regions_to_geojson(frame.union(island))
+        assert len(geo["coordinates"]) == 2
+        with_hole = [poly for poly in geo["coordinates"] if len(poly) == 2]
+        assert len(with_hole) == 1
+        # The hole's vertices lie strictly inside the frame's bounding box.
+        hole = with_hole[0][1]
+        assert all(0 < x < 6 and 0 < y < 6 for x, y in hole)
+
+    def test_empty(self):
+        geo = regions_to_geojson(RegionSet())
+        assert geo["coordinates"] == []

@@ -1,0 +1,169 @@
+"""Tests for the B+-tree substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_, InvalidParameterError
+from repro.index.bplus import BPlusTree
+from repro.storage.buffer import BufferPool
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree(fanout=4)
+        assert len(tree) == 0
+        assert tree.search(5) == []
+        assert tree.range_scan(0, 100) == []
+        assert tree.height == 1
+
+    def test_insert_search(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(10, "a")
+        tree.insert(5, "b")
+        tree.insert(20, "c")
+        assert tree.search(10) == ["a"]
+        assert tree.search(5) == ["b"]
+        assert tree.search(7) == []
+        assert len(tree) == 3
+
+    def test_duplicates(self):
+        tree = BPlusTree(fanout=4)
+        for i, v in enumerate("abc"):
+            tree.insert(7, v)
+        assert sorted(tree.search(7)) == ["a", "b", "c"]
+
+    def test_split_grows_height(self):
+        tree = BPlusTree(fanout=4)
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.height >= 3
+        tree.validate()
+        for key in range(50):
+            assert tree.search(key) == [key]
+
+    def test_fanout_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BPlusTree(fanout=2)
+
+
+class TestRangeScan:
+    def test_inclusive_bounds(self):
+        tree = BPlusTree(fanout=4)
+        for key in range(0, 100, 10):
+            tree.insert(key, key)
+        got = [k for k, _v in tree.range_scan(20, 50)]
+        assert got == [20, 30, 40, 50]
+
+    def test_empty_range(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5, "x")
+        assert tree.range_scan(10, 5) == []
+        assert tree.range_scan(6, 9) == []
+
+    def test_sorted_output_with_duplicates(self):
+        tree = BPlusTree(fanout=4)
+        gen = np.random.default_rng(0)
+        keys = gen.integers(0, 30, size=200)
+        for i, key in enumerate(keys):
+            tree.insert(int(key), i)
+        got = [k for k, _v in tree.range_scan(0, 30)]
+        assert got == sorted(keys.tolist())
+
+    @given(
+        st.lists(st.integers(0, 500), max_size=120),
+        st.integers(0, 500),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = BPlusTree(fanout=5)
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        tree.validate()
+        got = sorted(k for k, _v in tree.range_scan(lo, hi))
+        want = sorted(k for k in keys if lo <= k <= hi)
+        assert got == want
+
+
+class TestDelete:
+    def test_delete_single(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5, "x")
+        assert tree.delete(5) == "x"
+        assert len(tree) == 0
+        assert tree.search(5) == []
+
+    def test_delete_with_match(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.delete(5, match=lambda v: v == "b") == "b"
+        assert tree.search(5) == ["a"]
+
+    def test_delete_missing_raises(self):
+        tree = BPlusTree(fanout=4)
+        tree.insert(5, "a")
+        with pytest.raises(IndexError_):
+            tree.delete(6)
+        with pytest.raises(IndexError_):
+            tree.delete(5, match=lambda v: v == "zzz")
+
+    def test_delete_everything_after_splits(self):
+        tree = BPlusTree(fanout=4)
+        gen = np.random.default_rng(1)
+        keys = gen.permutation(80)
+        for key in keys:
+            tree.insert(int(key), int(key))
+        for key in keys:
+            assert tree.delete(int(key)) == int(key)
+        assert len(tree) == 0
+        tree.validate()
+        assert tree.range_scan(0, 100) == []
+
+    @given(st.lists(st.integers(0, 60), max_size=80), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_interleaved_against_reference(self, keys, seed):
+        gen = np.random.default_rng(seed)
+        tree = BPlusTree(fanout=5)
+        reference = []
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+            reference.append((key, i))
+            if reference and gen.random() < 0.35:
+                victim = reference.pop(int(gen.integers(len(reference))))
+                tree.delete(victim[0], match=lambda v, w=victim[1]: v == w)
+        tree.validate()
+        got = sorted(k for k, _v in tree.range_scan(0, 60))
+        assert got == sorted(k for k, _v in reference)
+
+
+class TestIO:
+    def test_range_scan_charges_buffer(self):
+        pool = BufferPool(capacity_pages=2)
+        tree = BPlusTree(fanout=4, buffer_pool=pool)
+        for key in range(60):
+            tree.insert(key, key)
+        pool.reset_stats()
+        tree.range_scan(0, 59)
+        assert pool.stats.accesses > 0
+
+    def test_charge_io_flag_off(self):
+        pool = BufferPool(capacity_pages=2)
+        tree = BPlusTree(fanout=4, buffer_pool=pool)
+        for key in range(60):
+            tree.insert(key, key)
+        pool.reset_stats()
+        tree.range_scan(0, 59, charge_io=False)
+        assert pool.stats.accesses == 0
+
+    def test_inserts_not_charged(self):
+        pool = BufferPool(capacity_pages=2)
+        tree = BPlusTree(fanout=4, buffer_pool=pool)
+        for key in range(60):
+            tree.insert(key, key)
+        assert pool.stats.accesses == 0

@@ -1,0 +1,215 @@
+"""Tests for the 1-D/2-D Chebyshev machinery (Section 6.1, Theorem 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chebyshev.cheb1d import (
+    chebyshev_values,
+    interval_bounds,
+    interval_bounds_all,
+    weighted_integrals,
+)
+from repro.chebyshev.cheb2d import (
+    approximate_function,
+    coefficient_count,
+    evaluate,
+    evaluate_grid,
+    normalization_factors,
+    total_degree_mask,
+)
+from repro.core.errors import InvalidParameterError
+
+unit = st.floats(-1, 1)
+
+
+class TestChebyshevValues:
+    def test_first_polynomials(self):
+        x = np.array([-1.0, -0.5, 0.0, 0.5, 1.0])
+        t = chebyshev_values(3, x)
+        assert np.allclose(t[0], 1.0)
+        assert np.allclose(t[1], x)
+        assert np.allclose(t[2], 2 * x**2 - 1)
+        assert np.allclose(t[3], 4 * x**3 - 3 * x)
+
+    @given(st.integers(0, 12), unit)
+    def test_matches_cosine_definition(self, k, x):
+        t = chebyshev_values(k, np.array([x]))
+        expected = math.cos(k * math.acos(x))
+        assert t[k, 0] == pytest.approx(expected, abs=1e-9)
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(InvalidParameterError):
+            chebyshev_values(-1, np.array([0.0]))
+
+    def test_bounded_by_one(self):
+        x = np.linspace(-1, 1, 101)
+        t = chebyshev_values(10, x)
+        assert np.abs(t).max() <= 1.0 + 1e-12
+
+
+class TestWeightedIntegrals:
+    def test_full_interval_degree_zero(self):
+        # ∫ 1/sqrt(1-x^2) over [-1, 1] = pi.
+        vals = weighted_integrals(3, -1.0, 1.0)
+        assert vals[0] == pytest.approx(math.pi)
+
+    def test_full_interval_higher_degrees_vanish(self):
+        # Orthogonality: ∫ T_i w = 0 for i >= 1 over the full interval.
+        vals = weighted_integrals(6, -1.0, 1.0)
+        assert np.allclose(vals[1:], 0.0, atol=1e-12)
+
+    def test_empty_interval(self):
+        assert np.allclose(weighted_integrals(4, 0.5, 0.5), 0.0)
+        assert np.allclose(weighted_integrals(4, 0.7, 0.2), 0.0)
+
+    def test_clipping(self):
+        a = weighted_integrals(4, -5.0, 5.0)
+        b = weighted_integrals(4, -1.0, 1.0)
+        assert np.allclose(a, b)
+
+    @given(
+        st.integers(0, 8),
+        st.floats(-0.99, 0.99),
+        st.floats(-0.99, 0.99),
+    )
+    @settings(max_examples=50)
+    def test_matches_numeric_quadrature(self, i, a, b):
+        z1, z2 = min(a, b), max(a, b)
+        if z2 - z1 < 1e-3:
+            return
+        xs = np.linspace(z1, z2, 20001)
+        integrand = chebyshev_values(i, xs)[i] / np.sqrt(1 - xs**2)
+        numeric = np.trapezoid(integrand, xs)
+        closed = weighted_integrals(i, z1, z2)[i]
+        assert closed == pytest.approx(numeric, abs=1e-4)
+
+    def test_additivity(self):
+        whole = weighted_integrals(5, -0.8, 0.6)
+        left = weighted_integrals(5, -0.8, -0.1)
+        right = weighted_integrals(5, -0.1, 0.6)
+        assert np.allclose(whole, left + right, atol=1e-12)
+
+
+class TestIntervalBounds:
+    @given(st.integers(0, 10), st.floats(-1, 1), st.floats(-1, 1))
+    @settings(max_examples=120)
+    def test_bounds_are_sound_and_tight(self, i, a, b):
+        z1, z2 = min(a, b), max(a, b)
+        lo, hi = interval_bounds(i, z1, z2)
+        xs = np.linspace(z1, z2, 257)
+        vals = chebyshev_values(i, xs)[i]
+        assert vals.min() >= lo - 1e-9
+        assert vals.max() <= hi + 1e-9
+        # Tight: the extrema are attained up to sampling error.
+        assert vals.min() <= lo + 0.02 or lo == -1.0
+        assert vals.max() >= hi - 0.02 or hi == 1.0
+
+    def test_degree_zero(self):
+        assert interval_bounds(0, -0.3, 0.7) == (1.0, 1.0)
+
+    def test_full_interval_high_degree(self):
+        assert interval_bounds(5, -1.0, 1.0) == (-1.0, 1.0)
+
+    def test_monotone_patch(self):
+        # T_1 = x on [0.2, 0.5].
+        lo, hi = interval_bounds(1, 0.2, 0.5)
+        assert lo == pytest.approx(0.2)
+        assert hi == pytest.approx(0.5)
+
+    def test_point_interval(self):
+        lo, hi = interval_bounds(4, 0.3, 0.3)
+        val = float(chebyshev_values(4, np.array([0.3]))[4, 0])
+        assert lo == pytest.approx(val)
+        assert hi == pytest.approx(val)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            interval_bounds(-1, 0, 1)
+        with pytest.raises(InvalidParameterError):
+            interval_bounds(2, 0.5, 0.2)
+
+    def test_all_variant_matches_scalar(self):
+        lows, highs = interval_bounds_all(6, -0.4, 0.9)
+        for i in range(7):
+            lo, hi = interval_bounds(i, -0.4, 0.9)
+            assert lows[i] == pytest.approx(lo)
+            assert highs[i] == pytest.approx(hi)
+
+
+class TestNormalizationAndMask:
+    def test_factors(self):
+        c = normalization_factors(2)
+        assert c[0, 0] == 1.0
+        assert c[0, 1] == 2.0 and c[1, 0] == 2.0
+        assert c[1, 1] == 4.0
+
+    def test_mask(self):
+        mask = total_degree_mask(2)
+        assert mask[0, 0] and mask[1, 1] and mask[2, 0]
+        assert not mask[2, 1] and not mask[2, 2]
+
+    def test_coefficient_count(self):
+        assert coefficient_count(0) == 1
+        assert coefficient_count(5) == 21  # (k+1)(k+2)/2
+
+
+class TestApproximateFunction:
+    def test_constant(self):
+        coeffs = approximate_function(lambda x, y: 3.0, k=4)
+        assert coeffs[0, 0] == pytest.approx(3.0)
+        other = coeffs.copy()
+        other[0, 0] = 0.0
+        assert np.allclose(other, 0.0, atol=1e-10)
+
+    def test_recovers_linear(self):
+        coeffs = approximate_function(lambda x, y: 2 * x - y, k=3)
+        assert coeffs[1, 0] == pytest.approx(2.0)
+        assert coeffs[0, 1] == pytest.approx(-1.0)
+
+    def test_recovers_product(self):
+        # x*y = T1(x) T1(y).
+        coeffs = approximate_function(lambda x, y: x * y, k=3)
+        assert coeffs[1, 1] == pytest.approx(1.0)
+
+    def test_smooth_function_accuracy(self):
+        f = lambda x, y: np.exp(-(x**2 + y**2))  # noqa: E731
+        coeffs = approximate_function(f, k=8)
+        xs = np.linspace(-0.95, 0.95, 12)
+        approx = evaluate_grid(coeffs, xs, xs)
+        exact = np.array([[f(x, y) for y in xs] for x in xs])
+        assert np.abs(approx - exact).max() < 0.01
+
+    def test_quadrature_points_validation(self):
+        with pytest.raises(InvalidParameterError):
+            approximate_function(lambda x, y: 1.0, k=8, quad_points=8)
+
+
+class TestEvaluate:
+    def test_evaluate_matches_grid(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(size=(4, 4))
+        coeffs[~total_degree_mask(3)] = 0.0
+        xs = np.array([-0.5, 0.3])
+        ys = np.array([0.1, 0.9])
+        grid = evaluate_grid(coeffs, xs, ys)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                v = evaluate(coeffs, np.array([x]), np.array([y]))[0]
+                assert grid[i, j] == pytest.approx(v)
+
+    @given(unit, unit)
+    @settings(max_examples=30)
+    def test_evaluate_linear_combination(self, x, y):
+        coeffs = np.zeros((3, 3))
+        coeffs[0, 0] = 1.5
+        coeffs[1, 0] = -2.0
+        coeffs[0, 2] = 0.5
+        expected = 1.5 - 2.0 * x + 0.5 * (2 * y * y - 1)
+        got = evaluate(coeffs, np.array([x]), np.array([y]))[0]
+        assert got == pytest.approx(expected, abs=1e-9)

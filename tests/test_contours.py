@@ -1,0 +1,81 @@
+"""Tests for marching-squares contour extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chebyshev.contours import contour_segments, contour_segments_from_grid
+from repro.chebyshev.grid import ChebSurface, GridSpec
+from repro.core.errors import InvalidParameterError
+from repro.core.geometry import Rect
+
+DOMAIN = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def ramp_values(n):
+    """values[ix, iy] = x coordinate of the sample centre."""
+    xs = (np.arange(n) + 0.5) * (100.0 / n)
+    return np.tile(xs[:, None], (1, n))
+
+
+class TestFromGrid:
+    def test_no_crossing_no_segments(self):
+        values = np.zeros((8, 8))
+        assert contour_segments_from_grid(values, DOMAIN, level=1.0) == []
+        assert contour_segments_from_grid(values + 5, DOMAIN, level=1.0) == []
+
+    def test_ramp_contour_is_vertical_line(self):
+        values = ramp_values(20)
+        segments = contour_segments_from_grid(values, DOMAIN, level=50.0)
+        assert segments
+        for (x1, _y1), (x2, _y2) in segments:
+            assert x1 == pytest.approx(50.0, abs=100.0 / 20)
+            assert x2 == pytest.approx(50.0, abs=100.0 / 20)
+
+    def test_ramp_contour_spans_height(self):
+        values = ramp_values(20)
+        segments = contour_segments_from_grid(values, DOMAIN, level=50.0)
+        ys = [p[1] for seg in segments for p in seg]
+        assert min(ys) < 10.0
+        assert max(ys) > 90.0
+
+    def test_circle_contour_length(self):
+        n = 64
+        xs = (np.arange(n) + 0.5) * (100.0 / n)
+        xx, yy = np.meshgrid(xs, xs, indexing="ij")
+        values = -np.hypot(xx - 50, yy - 50)  # level -r = circle of radius r
+        segments = contour_segments_from_grid(values, DOMAIN, level=-20.0)
+        length = sum(
+            float(np.hypot(b[0] - a[0], b[1] - a[1])) for a, b in segments
+        )
+        assert length == pytest.approx(2 * np.pi * 20.0, rel=0.1)
+
+    def test_segment_points_on_cell_edges(self):
+        values = ramp_values(10)
+        for a, b in contour_segments_from_grid(values, DOMAIN, level=37.0):
+            for x, y in (a, b):
+                assert 0.0 <= x <= 100.0
+                assert 0.0 <= y <= 100.0
+
+    def test_too_small_grid_raises(self):
+        with pytest.raises(InvalidParameterError):
+            contour_segments_from_grid(np.zeros((1, 5)), DOMAIN, 0.0)
+
+    def test_saddle_cases_produce_two_segments(self):
+        values = np.array([[1.0, 0.0], [0.0, 1.0]])
+        segments = contour_segments_from_grid(values, DOMAIN, level=0.5)
+        assert len(segments) == 2
+
+
+class TestFromSurface:
+    def test_contour_of_hotspot_encircles_it(self):
+        spec = GridSpec(DOMAIN, g=2, k=6)
+        surface = ChebSurface(spec, spec.zero_coefficients())
+        surface.add_rect(Rect(40, 40, 60, 60), height=4.0)
+        segments = contour_segments(surface, level=2.0, resolution=48)
+        assert segments
+        cx = np.mean([p[0] for seg in segments for p in seg])
+        cy = np.mean([p[1] for seg in segments for p in seg])
+        assert cx == pytest.approx(50.0, abs=6.0)
+        assert cy == pytest.approx(50.0, abs=6.0)

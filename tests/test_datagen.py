@@ -1,0 +1,183 @@
+"""Tests for the synthetic road network and trip simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatagenError
+from repro.core.geometry import Rect
+from repro.datagen.network import Hub, RoadNetwork, synthetic_metro
+from repro.datagen.trips import SpeedModel, TripSimulator
+from repro.motion.table import ObjectTable
+
+DOMAIN = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestSyntheticMetro:
+    def test_node_count(self):
+        net = synthetic_metro(DOMAIN, grid_n=10)
+        assert net.node_count == 100
+
+    def test_positions_inside_domain(self):
+        net = synthetic_metro(DOMAIN, grid_n=15, seed=2)
+        assert (net.positions[:, 0] >= DOMAIN.x1).all()
+        assert (net.positions[:, 0] <= DOMAIN.x2).all()
+        assert (net.positions[:, 1] >= DOMAIN.y1).all()
+        assert (net.positions[:, 1] <= DOMAIN.y2).all()
+
+    def test_lattice_adjacency(self):
+        net = synthetic_metro(DOMAIN, grid_n=5)
+        # Corner nodes have 2 neighbours, edges 3, interior 4.
+        degrees = sorted(len(nbrs) for nbrs in net.neighbors)
+        assert degrees[0] == 2
+        assert degrees[-1] == 4
+        assert sum(degrees) == 2 * (2 * 5 * 4)  # edges of a 5x5 grid graph
+
+    def test_weights_peak_at_hubs(self):
+        hub = Hub(500.0, 500.0, 10.0, 60.0)
+        net = synthetic_metro(DOMAIN, grid_n=20, hubs=[hub], base_weight=0.01)
+        centre = net.nearest_node(500.0, 500.0)
+        corner = net.nearest_node(0.0, 0.0)
+        assert net.weights[centre] > 10 * net.weights[corner]
+
+    def test_sampling_biased_toward_hubs(self):
+        hub = Hub(500.0, 500.0, 20.0, 50.0)
+        net = synthetic_metro(DOMAIN, grid_n=20, hubs=[hub], base_weight=0.01)
+        gen = np.random.default_rng(0)
+        samples = net.sample_nodes(gen, 2000)
+        positions = net.positions[samples]
+        dist = np.hypot(positions[:, 0] - 500, positions[:, 1] - 500)
+        # Most samples land near the hub.
+        assert (dist < 200).mean() > 0.5
+
+    def test_greedy_step_approaches_destination(self):
+        net = synthetic_metro(DOMAIN, grid_n=10, seed=1)
+        gen = np.random.default_rng(0)
+        current = net.nearest_node(50.0, 50.0)
+        destination = net.nearest_node(950.0, 950.0)
+        for _ in range(40):
+            nxt = net.greedy_step(current, destination, gen)
+            if nxt == current:
+                break
+            d_now = np.hypot(*(net.positions[current] - net.positions[destination]))
+            d_next = np.hypot(*(net.positions[nxt] - net.positions[destination]))
+            assert d_next < d_now
+            current = nxt
+        assert current == destination
+
+    def test_greedy_step_at_destination(self):
+        net = synthetic_metro(DOMAIN, grid_n=5)
+        gen = np.random.default_rng(0)
+        assert net.greedy_step(7, 7, gen) == 7
+
+    def test_validation(self):
+        with pytest.raises(DatagenError):
+            synthetic_metro(DOMAIN, grid_n=1)
+
+
+class TestSpeedModel:
+    def test_samples_in_range(self):
+        model = SpeedModel(v_min_mph=25, v_max_mph=100, minutes_per_timestamp=1.0)
+        gen = np.random.default_rng(0)
+        samples = [model.sample(gen) for _ in range(500)]
+        lo = 25.0 / 60.0
+        hi = 100.0 / 60.0
+        assert all(lo <= s <= hi for s in samples)
+
+    def test_skewed_toward_low_speeds(self):
+        model = SpeedModel()
+        gen = np.random.default_rng(0)
+        samples = np.array([model.sample(gen) for _ in range(2000)])
+        midpoint = (samples.min() + samples.max()) / 2
+        assert (samples < midpoint).mean() > 0.6  # right-skewed
+
+    def test_validation(self):
+        with pytest.raises(DatagenError):
+            SpeedModel(v_min_mph=0, v_max_mph=10)
+        with pytest.raises(DatagenError):
+            SpeedModel(v_min_mph=50, v_max_mph=40)
+        with pytest.raises(DatagenError):
+            SpeedModel(minutes_per_timestamp=0)
+
+
+class TestTripSimulator:
+    def _sim(self, n=50, u=10, seed=0, grid_n=8):
+        net = synthetic_metro(DOMAIN, grid_n=grid_n, seed=seed)
+        return TripSimulator(net, n_objects=n, update_interval=u, seed=seed)
+
+    def test_initialize_reports_all_objects(self):
+        table = ObjectTable()
+        sim = self._sim(n=30)
+        sim.initialize(table)
+        assert len(table) == 30
+        assert sim.reports_issued == 30
+
+    def test_double_initialize_rejected(self):
+        table = ObjectTable()
+        sim = self._sim()
+        sim.initialize(table)
+        with pytest.raises(DatagenError):
+            sim.initialize(table)
+
+    def test_run_requires_initialize(self):
+        with pytest.raises(DatagenError):
+            self._sim().run_until(ObjectTable(), 5)
+
+    def test_objects_stay_roughly_in_domain(self):
+        table = ObjectTable()
+        sim = self._sim(n=40, u=5)
+        sim.initialize(table)
+        sim.run_until(table, 50)
+        margin = 5.0  # linear prediction may overshoot one report period
+        for _oid, x, y in table.positions_at(table.tnow):
+            assert DOMAIN.x1 - margin <= x <= DOMAIN.x2 + margin
+            assert DOMAIN.y1 - margin <= y <= DOMAIN.y2 + margin
+
+    def test_every_object_reports_within_u(self):
+        table = ObjectTable()
+        u = 7
+        sim = self._sim(n=40, u=u)
+        sim.initialize(table)
+        sim.run_until(table, 3 * u)
+        for motion in table.motions():
+            assert table.tnow - motion.t_ref <= u
+
+    def test_reports_accumulate(self):
+        table = ObjectTable()
+        sim = self._sim(n=40, u=5)
+        sim.initialize(table)
+        sim.run_until(table, 20)
+        # Every object must have re-reported at least 20/5 - 1 times.
+        assert sim.reports_issued >= 40 * 4
+
+    def test_deterministic_given_seed(self):
+        t1, t2 = ObjectTable(), ObjectTable()
+        self._sim(seed=9).initialize(t1)
+        self._sim(seed=9).initialize(t2)
+        for oid in range(50):
+            a, b = t1.motion_of(oid), t2.motion_of(oid)
+            assert (a.x, a.y, a.vx, a.vy) == (b.x, b.y, b.vx, b.vy)
+
+    def test_velocity_magnitudes_match_speed_model(self):
+        table = ObjectTable()
+        sim = self._sim(n=60)
+        sim.initialize(table)
+        hi = 100.0 / 60.0
+        for motion in table.motions():
+            assert motion.speed <= hi + 1e-9
+
+    def test_validation(self):
+        net = synthetic_metro(DOMAIN, grid_n=5)
+        with pytest.raises(DatagenError):
+            TripSimulator(net, n_objects=0, update_interval=5)
+        with pytest.raises(DatagenError):
+            TripSimulator(net, n_objects=5, update_interval=0)
+
+    def test_cannot_run_backwards(self):
+        table = ObjectTable()
+        sim = self._sim()
+        sim.initialize(table)
+        sim.run_until(table, 5)
+        with pytest.raises(DatagenError):
+            sim.run_until(table, 3)

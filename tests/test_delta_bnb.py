@@ -1,0 +1,221 @@
+"""Tests for delta coefficients (Lemma 4), expansion bounds and B&B search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chebyshev.bnb import dense_boxes, dense_boxes_grid
+from repro.chebyshev.bounds import bound_expansion
+from repro.chebyshev.cheb2d import (
+    approximate_function,
+    evaluate,
+    total_degree_mask,
+)
+from repro.chebyshev.delta import delta_coefficients, delta_coefficients_batch
+from repro.core.errors import InvalidParameterError
+
+interval = st.tuples(st.floats(-1, 1), st.floats(-1, 1)).map(
+    lambda t: (min(t), max(t))
+)
+
+
+def random_coeffs(k, seed):
+    gen = np.random.default_rng(seed)
+    coeffs = gen.normal(size=(k + 1, k + 1))
+    coeffs[~total_degree_mask(k)] = 0.0
+    return coeffs
+
+
+class TestDeltaCoefficients:
+    def test_matches_quadrature_of_indicator(self):
+        """Closed-form delta coefficients equal the quadrature coefficients
+        of the same indicator function (up to quadrature error on a
+        discontinuous integrand)."""
+        x1, x2, y1, y2, height = -0.4, 0.3, -0.1, 0.8, 2.0
+
+        def indicator(x, y):
+            return height if (x1 <= x <= x2 and y1 <= y <= y2) else 0.0
+
+        closed = delta_coefficients(4, x1, x2, y1, y2, height)
+        quad = approximate_function(indicator, k=4, quad_points=4000)
+        assert np.abs(closed - quad).max() < 5e-3
+
+    def test_full_domain_is_constant(self):
+        coeffs = delta_coefficients(5, -1, 1, -1, 1, 3.0)
+        assert coeffs[0, 0] == pytest.approx(3.0)
+        rest = coeffs.copy()
+        rest[0, 0] = 0.0
+        assert np.allclose(rest, 0.0, atol=1e-12)
+
+    def test_empty_rect_zero(self):
+        assert np.allclose(delta_coefficients(4, 0.5, 0.5, -1, 1, 1.0), 0.0)
+        assert np.allclose(delta_coefficients(4, 0.7, 0.2, -1, 1, 1.0), 0.0)
+
+    def test_linearity_in_height(self):
+        a = delta_coefficients(4, -0.5, 0.5, -0.5, 0.5, 1.0)
+        b = delta_coefficients(4, -0.5, 0.5, -0.5, 0.5, 2.5)
+        assert np.allclose(b, 2.5 * a)
+
+    def test_additivity_of_disjoint_rects(self):
+        whole = delta_coefficients(5, -0.6, 0.6, -0.2, 0.2, 1.0)
+        left = delta_coefficients(5, -0.6, 0.0, -0.2, 0.2, 1.0)
+        right = delta_coefficients(5, 0.0, 0.6, -0.2, 0.2, 1.0)
+        assert np.allclose(whole, left + right, atol=1e-12)
+
+    def test_clipping_matches_clipped_rect(self):
+        a = delta_coefficients(4, -5.0, 0.5, -1.0, 2.0, 1.0)
+        b = delta_coefficients(4, -1.0, 0.5, -1.0, 1.0, 1.0)
+        assert np.allclose(a, b)
+
+    def test_total_degree_truncation(self):
+        coeffs = delta_coefficients(3, -0.3, 0.4, -0.5, 0.5, 1.0)
+        assert np.allclose(coeffs[~total_degree_mask(3)], 0.0)
+
+    def test_batch_matches_single(self):
+        rects = [
+            (-0.5, 0.5, -0.5, 0.5),
+            (-1.0, -0.2, 0.0, 0.9),
+            (0.1, 0.1, -1.0, 1.0),  # empty
+        ]
+        batch = delta_coefficients_batch(
+            4,
+            np.array([r[0] for r in rects]),
+            np.array([r[1] for r in rects]),
+            np.array([r[2] for r in rects]),
+            np.array([r[3] for r in rects]),
+            height=0.7,
+        )
+        for idx, (x1, x2, y1, y2) in enumerate(rects):
+            single = delta_coefficients(4, x1, x2, y1, y2, 0.7)
+            assert np.allclose(batch[idx], single, atol=1e-12)
+
+    def test_batch_empty_input(self):
+        out = delta_coefficients_batch(
+            3, np.array([]), np.array([]), np.array([]), np.array([]), 1.0
+        )
+        assert out.shape == (0, 4, 4)
+
+    def test_batch_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            delta_coefficients_batch(
+                3, np.array([0.0]), np.array([0.1, 0.2]), np.array([0.0]),
+                np.array([0.1]), 1.0
+            )
+
+
+class TestBoundExpansion:
+    @given(st.integers(0, 6), interval, interval, st.integers(0, 10_000))
+    @settings(max_examples=80)
+    def test_bounds_are_sound(self, k, xint, yint, seed):
+        coeffs = random_coeffs(k, seed)
+        (x1, x2), (y1, y2) = xint, yint
+        lo, hi = bound_expansion(coeffs, x1, x2, y1, y2)
+        xs = np.linspace(x1, x2, 17)
+        ys = np.linspace(y1, y2, 17)
+        for x in xs:
+            vals = evaluate(coeffs, np.full(17, x), ys)
+            assert vals.min() >= lo - 1e-7
+            assert vals.max() <= hi + 1e-7
+
+    def test_constant_expansion_tight(self):
+        coeffs = np.zeros((3, 3))
+        coeffs[0, 0] = 2.5
+        lo, hi = bound_expansion(coeffs, -0.5, 0.5, -0.5, 0.5)
+        assert lo == pytest.approx(2.5)
+        assert hi == pytest.approx(2.5)
+
+    def test_linear_expansion_tight(self):
+        coeffs = np.zeros((2, 2))
+        coeffs[1, 0] = 1.0  # f = x
+        lo, hi = bound_expansion(coeffs, 0.2, 0.6, -1, 1)
+        assert lo == pytest.approx(0.2)
+        assert hi == pytest.approx(0.6)
+
+
+class TestDenseBoxes:
+    def test_constant_above_threshold_whole_domain(self):
+        coeffs = np.zeros((3, 3))
+        coeffs[0, 0] = 5.0
+        result = dense_boxes(coeffs, rho=1.0, min_edge=0.1)
+        assert len(result) == 1
+        assert result.box_tuples()[0] == (-1.0, -1.0, 1.0, 1.0)
+        assert result.accepted_by_bound == 1
+        assert result.nodes_visited == 1
+
+    def test_constant_below_threshold_empty(self):
+        coeffs = np.zeros((3, 3))
+        coeffs[0, 0] = 0.5
+        result = dense_boxes(coeffs, rho=1.0, min_edge=0.1)
+        assert len(result) == 0
+        assert result.pruned_by_bound == 1
+
+    def test_halfplane_split(self):
+        # f = x: dense where x >= 0.
+        coeffs = np.zeros((2, 2))
+        coeffs[1, 0] = 1.0
+        result = dense_boxes(coeffs, rho=0.0, min_edge=0.05)
+        # Total accepted area should approximate the half plane (area 2).
+        area = sum((x2 - x1) * (y2 - y1) for x1, y1, x2, y2 in result.box_tuples())
+        assert area == pytest.approx(2.0, abs=0.2)
+        for x1, _y1, x2, _y2 in result.box_tuples():
+            assert x2 > -0.06  # nothing deep in the negative half
+
+    def test_min_edge_validation(self):
+        with pytest.raises(InvalidParameterError):
+            dense_boxes(np.zeros((2, 2)), 0.0, 0.0)
+
+    @given(st.integers(2, 5), st.integers(0, 10_000), st.floats(-1, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_boxes_classify_correctly_at_resolution(self, k, seed, rho):
+        """Every accepted box centre is >= rho; every deeply-excluded point
+        is < rho (boundary leaves may go either way at min_edge)."""
+        coeffs = random_coeffs(k, seed)
+        min_edge = 0.125
+        result = dense_boxes(coeffs, rho=rho, min_edge=min_edge)
+        boxes = result.box_tuples()
+        # Accepted box centres are dense.
+        for x1, y1, x2, y2 in boxes:
+            cx, cy = (x1 + x2) / 2, (y1 + y2) / 2
+            val = evaluate(coeffs, np.array([cx]), np.array([cy]))[0]
+            assert val >= rho - 1e-6
+        # A dense point outside every box must sit in a dyadic leaf whose
+        # centre is below rho — the exact semantics of the m_d fallback
+        # (the recursion halves [-1,1] down to cells of size min_edge).
+        gen = np.random.default_rng(seed + 1)
+        for _ in range(30):
+            px, py = gen.uniform(-1, 1, size=2)
+            in_box = any(
+                x1 <= px <= x2 and y1 <= py <= y2 for x1, y1, x2, y2 in boxes
+            )
+            if in_box:
+                continue
+            val = evaluate(coeffs, np.array([px]), np.array([py]))[0]
+            if val < rho + 1e-6:
+                continue
+            leaf_cx = (np.floor((px + 1.0) / min_edge) + 0.5) * min_edge - 1.0
+            leaf_cy = (np.floor((py + 1.0) / min_edge) + 0.5) * min_edge - 1.0
+            centre_val = evaluate(
+                coeffs, np.array([leaf_cx]), np.array([leaf_cy])
+            )[0]
+            assert centre_val < rho + 1e-6
+
+    def test_grid_version_matches_per_tile(self):
+        gen = np.random.default_rng(7)
+        grid = gen.normal(size=(2, 2, 4, 4))
+        grid[:, :, ~total_degree_mask(3)] = 0.0
+        combined = dense_boxes_grid(grid, rho=0.3, min_edge=0.25)
+        # Per-tile searches produce the same boxes per tile.
+        for i in range(2):
+            for j in range(2):
+                single = dense_boxes(grid[i, j], rho=0.3, min_edge=0.25)
+                mask = (combined.tiles[:, 0] == i) & (combined.tiles[:, 1] == j)
+                got = sorted(map(tuple, np.round(combined.boxes[mask], 9)))
+                want = sorted(map(tuple, np.round(single.boxes, 9)))
+                assert got == want
+
+    def test_grid_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            dense_boxes_grid(np.zeros((2, 3, 4, 4)), 0.0, 0.1)

@@ -1,0 +1,215 @@
+"""Tests for the exact FR method: filter step plus refinement.
+
+The central property: FR's answer equals the brute-force full-plane sweep
+exactly, region for region, under random workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import bruteforce_from_motions
+from repro.core.errors import InvalidParameterError
+from repro.core.geometry import Rect
+from repro.core.query import SnapshotPDRQuery
+from repro.histogram.density_histogram import DensityHistogram
+from repro.histogram.filter import filter_query, neighborhood_radii
+from repro.index.tree import TPRTree
+from repro.methods.fr import FRMethod
+from repro.motion.table import ObjectTable
+from repro.storage.buffer import BufferPool
+
+DOMAIN = Rect(0.0, 0.0, 100.0, 100.0)
+HORIZON = 6
+
+
+def build_world(n, seed, clustered=True, buffer_pages=8):
+    table = ObjectTable()
+    hist = DensityHistogram(DOMAIN, m=20, horizon=HORIZON)  # cell edge 5
+    pool = BufferPool(capacity_pages=buffer_pages)
+    tree = TPRTree(horizon=HORIZON, buffer_pool=pool, fanout_override=8)
+    table.add_listener(hist)
+    table.add_listener(tree)
+    gen = np.random.default_rng(seed)
+    for oid in range(n):
+        if clustered and oid % 2 == 0:
+            x, y = gen.normal([40.0, 60.0], 4.0, size=2)
+            x, y = float(np.clip(x, 1, 99)), float(np.clip(y, 1, 99))
+        else:
+            x, y = float(gen.uniform(1, 99)), float(gen.uniform(1, 99))
+        table.report(oid, x, y, float(gen.uniform(-2, 2)), float(gen.uniform(-2, 2)))
+    return table, hist, tree
+
+
+class TestNeighborhoodRadii:
+    def test_paper_example(self):
+        # l = 10, cell edge 2: l/(2 lc) = 2.5 -> eta_l = 2, eta_h = 3
+        # (Figure 4's caption: eta_l = 2, eta_h = 3).
+        assert neighborhood_radii(10.0, 2.0) == (2, 3)
+
+    def test_exact_multiple(self):
+        assert neighborhood_radii(10.0, 2.5) == (2, 2)
+
+    def test_boundary_cell_edge_half_l(self):
+        assert neighborhood_radii(10.0, 5.0) == (1, 1)
+
+    def test_cell_too_coarse_raises(self):
+        with pytest.raises(InvalidParameterError):
+            neighborhood_radii(10.0, 6.0)
+
+
+class TestFilterStep:
+    def test_classification_partitions_cells(self):
+        _table, hist, _tree = build_world(60, seed=0)
+        query = SnapshotPDRQuery(rho=0.05, l=10.0, qt=0)
+        result = filter_query(hist, query)
+        total = result.accepted_count + result.rejected_count + result.candidate_count
+        assert total == hist.m * hist.m
+        assert not (result.accepted & result.rejected).any()
+        assert not (result.accepted & result.candidate).any()
+
+    def test_accepted_cells_truly_dense(self):
+        table, hist, _tree = build_world(80, seed=1)
+        query = SnapshotPDRQuery(rho=0.04, l=10.0, qt=0)
+        result = filter_query(hist, query)
+        positions = [(x, y) for (_o, x, y) in table.positions_at(0)]
+        from repro.core.geometry import point_in_square
+
+        for (i, j) in result.accepted_cells():
+            cell = hist.cell_rect(i, j)
+            # Probe the cell corners and centre: all must be dense.
+            probes = [
+                (cell.x1, cell.y1),
+                (cell.center.x, cell.center.y),
+                (cell.x2 - 1e-6, cell.y2 - 1e-6),
+            ]
+            for px, py in probes:
+                count = sum(
+                    1 for ox, oy in positions if point_in_square(ox, oy, px, py, 10.0)
+                )
+                assert count >= query.min_count - 1e-9
+
+    def test_rejected_cells_truly_not_dense(self):
+        table, hist, _tree = build_world(80, seed=2)
+        query = SnapshotPDRQuery(rho=0.04, l=10.0, qt=0)
+        result = filter_query(hist, query)
+        positions = [(x, y) for (_o, x, y) in table.positions_at(0)]
+        from repro.core.geometry import point_in_square
+
+        gen = np.random.default_rng(3)
+        rejected = result.rejected
+        for (i, j) in zip(*rejected.nonzero()):
+            cell = hist.cell_rect(int(i), int(j))
+            for _ in range(3):
+                px = float(gen.uniform(cell.x1, cell.x2))
+                py = float(gen.uniform(cell.y1, cell.y2))
+                count = sum(
+                    1 for ox, oy in positions if point_in_square(ox, oy, px, py, 10.0)
+                )
+                assert count < query.min_count - 1e-9
+
+    def test_zero_threshold_accepts_everything(self):
+        _table, hist, _tree = build_world(10, seed=4)
+        result = filter_query(hist, SnapshotPDRQuery(rho=0.0, l=10.0, qt=0))
+        assert result.accepted_count == hist.m * hist.m
+
+
+class TestFRMatchesBruteForce:
+    @given(
+        st.integers(5, 60),
+        st.integers(0, 10_000),
+        st.floats(0.01, 0.08),
+        st.integers(0, HORIZON),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_exactness(self, n, seed, rho, qt):
+        table, hist, tree = build_world(n, seed=seed)
+        fr = FRMethod(hist, tree)
+        query = SnapshotPDRQuery(rho=rho, l=10.0, qt=qt)
+        got = fr.query(query)
+        want = bruteforce_from_motions(table.motions(), DOMAIN, query)
+        assert got.regions.symmetric_difference_area(want.regions) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_exactness_with_larger_l(self):
+        table, hist, tree = build_world(50, seed=9)
+        fr = FRMethod(hist, tree)
+        query = SnapshotPDRQuery(rho=0.01, l=30.0, qt=2)
+        got = fr.query(query)
+        want = bruteforce_from_motions(table.motions(), DOMAIN, query)
+        assert got.regions.symmetric_difference_area(want.regions) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_empty_world(self):
+        table = ObjectTable()
+        hist = DensityHistogram(DOMAIN, m=20, horizon=HORIZON)
+        tree = TPRTree(horizon=HORIZON, fanout_override=8)
+        table.add_listener(hist)
+        table.add_listener(tree)
+        fr = FRMethod(hist, tree)
+        result = fr.query(SnapshotPDRQuery(rho=0.01, l=10.0, qt=0))
+        assert result.regions.is_empty()
+
+
+class TestFRBatchedRefinement:
+    @given(st.integers(10, 70), st.integers(0, 10_000), st.floats(0.02, 0.07))
+    @settings(max_examples=15, deadline=None)
+    def test_batched_answer_identical(self, n, seed, rho):
+        """Coalescing candidate cells never changes the exact answer."""
+        table, hist, tree = build_world(n, seed=seed)
+        query = SnapshotPDRQuery(rho=rho, l=10.0, qt=2)
+        per_cell = FRMethod(hist, tree, batch_candidates=False).query(query)
+        batched = FRMethod(hist, tree, batch_candidates=True).query(query)
+        assert per_cell.regions.symmetric_difference_area(
+            batched.regions
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_batching_issues_fewer_range_queries(self):
+        table, hist, tree = build_world(120, seed=3)
+        query = SnapshotPDRQuery(rho=0.03, l=10.0, qt=0)
+        filtered = filter_query(hist, query)
+        fr = FRMethod(hist, tree, batch_candidates=True)
+        strips = fr._candidate_rects(filtered)
+        if filtered.candidate_count > 1:
+            assert len(strips) < filtered.candidate_count
+        area_cells = filtered.candidate_region().area()
+        area_strips = sum(r.area for r in strips)
+        assert area_strips == pytest.approx(area_cells)
+
+
+class TestFRStats:
+    def test_stats_populated(self):
+        _table, hist, tree = build_world(80, seed=5)
+        fr = FRMethod(hist, tree)
+        result = fr.query(SnapshotPDRQuery(rho=0.03, l=10.0, qt=0))
+        stats = result.stats
+        assert stats.method == "fr"
+        assert stats.accepted_cells + stats.rejected_cells + stats.candidate_cells == 400
+        assert stats.cpu_seconds > 0.0
+        if stats.candidate_cells:
+            assert stats.io_count > 0
+            assert stats.io_seconds == pytest.approx(stats.io_count * 0.01)
+
+    def test_no_buffer_pool_means_no_io_charge(self):
+        table = ObjectTable()
+        hist = DensityHistogram(DOMAIN, m=20, horizon=HORIZON)
+        tree = TPRTree(horizon=HORIZON, buffer_pool=None, fanout_override=8)
+        table.add_listener(hist)
+        table.add_listener(tree)
+        gen = np.random.default_rng(0)
+        for oid in range(40):
+            table.report(oid, float(gen.uniform(1, 99)), float(gen.uniform(1, 99)),
+                         0.0, 0.0)
+        fr = FRMethod(hist, tree)
+        result = fr.query(SnapshotPDRQuery(rho=0.02, l=10.0, qt=0))
+        assert result.stats.io_count == 0
+        assert result.stats.io_seconds == 0.0
+
+    def test_requires_components(self):
+        with pytest.raises(InvalidParameterError):
+            FRMethod(None, None)

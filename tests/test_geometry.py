@@ -1,0 +1,192 @@
+"""Unit tests for repro.core.geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import GeometryError
+from repro.core.geometry import (
+    Point,
+    Rect,
+    merge_touching_intervals,
+    object_influence_rect,
+    point_in_square,
+    square_bounds,
+)
+
+coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+
+class TestRectBasics:
+    def test_measures(self):
+        r = Rect(1, 2, 4, 6)
+        assert r.width == 3
+        assert r.height == 4
+        assert r.area == 12
+        assert r.center == Point(2.5, 4.0)
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(GeometryError):
+            Rect(2, 0, 1, 5)
+        with pytest.raises(GeometryError):
+            Rect(0, 5, 1, 4)
+
+    def test_degenerate_allowed_and_empty(self):
+        assert Rect(1, 1, 1, 5).is_empty()
+        assert Rect(1, 1, 5, 1).is_empty()
+        assert not Rect(0, 0, 1, 1).is_empty()
+
+    def test_half_open_membership(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0, 0)  # low edges included
+        assert not r.contains_point(10, 5)  # high edges excluded
+        assert not r.contains_point(5, 10)
+        assert r.contains_point(9.999, 9.999)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(Rect(0, 0, 10, 10))
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+        # Empty rect is a subset of anything.
+        assert outer.contains_rect(Rect(50, 50, 50, 50))
+
+    def test_intersects_half_open(self):
+        a = Rect(0, 0, 10, 10)
+        assert not a.intersects(Rect(10, 0, 20, 10))  # shares only a boundary
+        assert a.intersects(Rect(9.99, 0, 20, 10))
+        assert not a.intersects(Rect(0, 10, 10, 20))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(20, 20, 30, 30)).is_empty()
+
+    def test_union_bounds(self):
+        assert Rect(0, 0, 1, 1).union_bounds(Rect(5, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+    def test_expanded_translated(self):
+        assert Rect(2, 2, 4, 4).expanded(1) == Rect(1, 1, 5, 5)
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_from_center(self):
+        assert Rect.from_center(Point(5, 5), 4, 2) == Rect(3, 4, 7, 6)
+
+    def test_corners_order(self):
+        pts = list(Rect(0, 0, 1, 2).corners())
+        assert pts == [Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 2)]
+
+    def test_bounding(self):
+        box = Rect.bounding([Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)])
+        assert box == Rect(0, -2, 6, 1)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.bounding([])
+
+
+class TestSquareSemantics:
+    """Definition 1: right/top edges included, left/bottom excluded."""
+
+    def test_square_bounds(self):
+        assert square_bounds(10, 20, 4) == (8, 18, 12, 22)
+
+    def test_right_top_included(self):
+        assert point_in_square(12, 22, 10, 20, 4)
+
+    def test_left_bottom_excluded(self):
+        assert not point_in_square(8, 20, 10, 20, 4)
+        assert not point_in_square(10, 18, 10, 20, 4)
+
+    def test_interior(self):
+        assert point_in_square(10, 20, 10, 20, 4)
+
+    def test_outside(self):
+        assert not point_in_square(12.001, 20, 10, 20, 4)
+
+    @given(coords, coords, coords, coords, st.floats(0.1, 50))
+    def test_duality_with_influence_rect(self, ox, oy, cx, cy, l):
+        """object in S_l(center)  <=>  center in influence(object)."""
+        lhs = point_in_square(ox, oy, cx, cy, l)
+        rhs = object_influence_rect(ox, oy, l).contains_point(cx, cy)
+        assert lhs == rhs
+
+    def test_influence_rect_shape(self):
+        r = object_influence_rect(10, 20, 4)
+        assert r == Rect(8, 18, 12, 22)
+
+
+class TestMergeTouchingIntervals:
+    def test_empty(self):
+        assert merge_touching_intervals([]) == []
+
+    def test_drops_empty_intervals(self):
+        assert merge_touching_intervals([(1, 1), (2, 2)]) == []
+
+    def test_disjoint_stay_separate(self):
+        assert merge_touching_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_touching_merge(self):
+        assert merge_touching_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_overlap_merge_unsorted(self):
+        assert merge_touching_intervals([(3, 5), (0, 4)]) == [(0, 5)]
+
+    def test_nested(self):
+        assert merge_touching_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(-100, 100)).map(
+                lambda t: (min(t), max(t))
+            ),
+            max_size=20,
+        )
+    )
+    def test_total_length_preserved_or_reduced(self, intervals):
+        merged = merge_touching_intervals(intervals)
+        # Merged intervals are sorted, disjoint and non-empty.
+        for lo, hi in merged:
+            assert hi > lo
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(merged, merged[1:]):
+            assert a_hi < b_lo
+        # Union length never exceeds the summed input lengths.
+        assert sum(hi - lo for lo, hi in merged) <= sum(
+            hi - lo for lo, hi in intervals
+        ) + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-20, 20), st.integers(-20, 20)).map(
+                lambda t: (min(t), max(t))
+            ),
+            max_size=12,
+        ),
+        st.integers(-25, 25),
+    )
+    def test_membership_preserved(self, intervals, probe):
+        merged = merge_touching_intervals(intervals)
+        x = probe + 0.5  # probe interiors, away from endpoints
+        in_original = any(lo <= x < hi for lo, hi in intervals)
+        in_merged = any(lo <= x < hi for lo, hi in merged)
+        assert in_original == in_merged

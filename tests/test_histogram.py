@@ -1,0 +1,233 @@
+"""Tests for density-histogram maintenance (Section 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import HorizonError, InvalidParameterError
+from repro.core.geometry import Rect
+from repro.histogram.density_histogram import DensityHistogram
+from repro.motion.model import Motion
+from repro.motion.table import ObjectTable
+
+DOMAIN = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def make_hist(m=10, horizon=5, tnow=0):
+    return DensityHistogram(DOMAIN, m=m, horizon=horizon, tnow=tnow)
+
+
+def brute_counts(table: ObjectTable, hist: DensityHistogram, qt: int) -> np.ndarray:
+    counts = np.zeros((hist.m, hist.m), dtype=int)
+    for _oid, x, y in table.positions_at(qt):
+        if DOMAIN.contains_point(x, y):
+            i, j = hist.cell_of(x, y)
+            counts[i, j] += 1
+    return counts
+
+
+class TestGeometryHelpers:
+    def test_cell_edge(self):
+        assert make_hist(m=10).cell_edge == pytest.approx(10.0)
+
+    def test_cell_rect(self):
+        hist = make_hist(m=10)
+        assert hist.cell_rect(0, 0) == Rect(0, 0, 10, 10)
+        assert hist.cell_rect(2, 3) == Rect(20, 30, 30, 40)
+
+    def test_cell_of(self):
+        hist = make_hist(m=10)
+        assert hist.cell_of(0.0, 0.0) == (0, 0)
+        assert hist.cell_of(99.99, 0.5) == (9, 0)
+        assert hist.cell_of(10.0, 10.0) == (1, 1)  # cell low edges inclusive
+
+    def test_cell_of_outside_raises(self):
+        with pytest.raises(InvalidParameterError):
+            make_hist().cell_of(100.0, 0.0)  # domain is half-open
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            DensityHistogram(DOMAIN, m=0, horizon=5)
+        with pytest.raises(InvalidParameterError):
+            DensityHistogram(DOMAIN, m=5, horizon=-1)
+
+    def test_memory_bytes(self):
+        hist = make_hist(m=10, horizon=5)
+        assert hist.memory_bytes() == 6 * 10 * 10 * 4
+
+
+class TestMaintenance:
+    def test_insert_counts_whole_trajectory(self):
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        table.report(0, 5.0, 5.0, 10.0, 0.0)  # crosses one cell per timestamp
+        for qt in range(6):
+            counts = hist.counts_at(qt)
+            assert counts.sum() == 1
+            i, j = hist.cell_of(5.0 + 10.0 * qt, 5.0) if qt < 10 else (None, None)
+            assert counts[i, j] == 1
+
+    def test_object_leaving_domain_drops_out(self):
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        table.report(0, 95.0, 5.0, 10.0, 0.0)  # exits after t=0
+        assert hist.counts_at(0).sum() == 1
+        assert hist.counts_at(1).sum() == 0
+
+    def test_delete_cancels_insert(self):
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        table.report(0, 5.0, 5.0, 1.0, 1.0)
+        table.retire(0)
+        for qt in range(6):
+            assert hist.counts_at(qt).sum() == 0
+
+    def test_rereport_replaces_trajectory(self):
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        table.report(0, 5.0, 5.0, 10.0, 0.0)
+        table.report(0, 55.0, 55.0, 0.0, 0.0)  # same time: delete + insert
+        counts = hist.counts_at(3)
+        assert counts.sum() == 1
+        assert counts[hist.cell_of(55.0, 55.0)] == 1
+
+    @given(st.integers(1, 30), st.integers(0, 10_000), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_match_bruteforce(self, n, seed, qt):
+        gen = np.random.default_rng(seed)
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        for oid in range(n):
+            table.report(
+                oid,
+                float(gen.uniform(0, 100)),
+                float(gen.uniform(0, 100)),
+                float(gen.uniform(-3, 3)),
+                float(gen.uniform(-3, 3)),
+            )
+        assert (hist.counts_at(qt) == brute_counts(table, hist, qt)).all()
+
+
+class TestRingBuffer:
+    def test_window_bounds(self):
+        hist = make_hist(horizon=5)
+        assert hist.window == (0, 5)
+        with pytest.raises(HorizonError):
+            hist.counts_at(6)
+        hist.counts_at(0)  # in range
+
+    def test_advance_shifts_window(self):
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        table.report(0, 5.0, 5.0, 0.0, 0.0)
+        table.advance_to(2)
+        assert hist.window == (2, 7)
+        with pytest.raises(HorizonError):
+            hist.counts_at(1)
+        # Times covered by the original insert stay correct.
+        assert hist.counts_at(5).sum() == 1
+        # Times beyond the insert's horizon are (correctly) empty until the
+        # object re-reports.
+        assert hist.counts_at(7).sum() == 0
+
+    def test_new_slot_filled_by_post_advance_reports(self):
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        table.report(0, 5.0, 5.0, 0.0, 0.0)
+        table.advance_to(3)
+        table.report(0, 5.0, 5.0, 0.0, 0.0)  # refresh
+        assert hist.counts_at(8).sum() == 1  # slot t=8 covered by the refresh
+
+    def test_advance_past_whole_window_resets(self):
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        table.report(0, 5.0, 5.0, 0.0, 0.0)
+        table.advance_to(20)
+        for qt in range(20, 26):
+            assert hist.counts_at(qt).sum() == 0
+
+    def test_delete_after_advance_only_touches_live_slots(self):
+        hist = make_hist(m=10, horizon=5)
+        table = ObjectTable()
+        table.add_listener(hist)
+        table.report(0, 5.0, 5.0, 0.0, 0.0)  # covers [0, 5]
+        table.advance_to(2)  # window now [2, 7]
+        table.report(0, 55.0, 55.0, 0.0, 0.0)  # delete old + insert new
+        for qt in range(2, 6):
+            counts = hist.counts_at(qt)
+            assert counts.sum() == 1
+            assert counts[hist.cell_of(55.0, 55.0)] == 1
+        # Old insert never covered 6..7; new insert does.
+        assert hist.counts_at(7).sum() == 1
+        # No negative counters anywhere.
+        assert int(hist.counts_at(2).min()) >= 0
+
+    def test_backwards_advance_rejected(self):
+        hist = make_hist(tnow=5)
+        with pytest.raises(InvalidParameterError):
+            hist.on_advance(4)
+
+
+class TestPrefixSums:
+    def test_prefix_sums_block(self):
+        hist = make_hist(m=4, horizon=0)
+        table = ObjectTable()
+        table.add_listener(hist)
+        # One object per cell of the 2x2 lower-left block.
+        table.report(0, 5.0, 5.0, 0.0, 0.0)
+        table.report(1, 30.0, 5.0, 0.0, 0.0)
+        table.report(2, 5.0, 30.0, 0.0, 0.0)
+        table.report(3, 30.0, 30.0, 0.0, 0.0)
+        prefix = hist.prefix_sums(0)
+        assert prefix[-1, -1] == 4
+        sums0 = DensityHistogram.block_sums(prefix, radius=0)
+        assert sums0[0, 0] == 1
+        sums1 = DensityHistogram.block_sums(prefix, radius=1)
+        assert sums1[0, 0] == 4  # clipped 2x2 block
+        assert sums1[1, 1] == 4
+        assert sums1[3, 3] == 0
+
+    def test_block_sums_radius_clipping(self):
+        hist = make_hist(m=3, horizon=0)
+        table = ObjectTable()
+        table.add_listener(hist)
+        for oid, (x, y) in enumerate([(10, 10), (50, 50), (90, 90)]):
+            table.report(oid, float(x), float(y), 0.0, 0.0)
+        prefix = hist.prefix_sums(0)
+        sums = DensityHistogram.block_sums(prefix, radius=5)  # covers all
+        assert (sums == 3).all()
+
+    def test_block_sums_negative_radius_raises(self):
+        hist = make_hist(m=3, horizon=0)
+        with pytest.raises(InvalidParameterError):
+            DensityHistogram.block_sums(hist.prefix_sums(0), radius=-1)
+
+    @given(st.integers(0, 10_000), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_block_sums_match_bruteforce(self, seed, radius):
+        gen = np.random.default_rng(seed)
+        hist = make_hist(m=6, horizon=0)
+        table = ObjectTable()
+        table.add_listener(hist)
+        for oid in range(25):
+            table.report(
+                oid, float(gen.uniform(0, 100)), float(gen.uniform(0, 100)), 0.0, 0.0
+            )
+        counts = hist.counts_at(0)
+        sums = DensityHistogram.block_sums(hist.prefix_sums(0), radius)
+        for i in range(6):
+            for j in range(6):
+                lo_i, hi_i = max(i - radius, 0), min(i + radius + 1, 6)
+                lo_j, hi_j = max(j - radius, 0), min(j + radius + 1, 6)
+                assert sums[i, j] == counts[lo_i:hi_i, lo_j:hi_j].sum()

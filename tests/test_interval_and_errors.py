@@ -1,0 +1,94 @@
+"""Tests for interval-query lifting and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import errors
+from repro.core.geometry import Rect
+from repro.core.query import (
+    IntervalPDRQuery,
+    QueryResult,
+    QueryStats,
+    SnapshotPDRQuery,
+)
+from repro.core.regions import RegionSet
+from repro.methods.interval import evaluate_interval
+
+
+def fake_evaluator(answers):
+    """Snapshot evaluator returning canned regions per timestamp."""
+
+    def evaluate(query: SnapshotPDRQuery) -> QueryResult:
+        regions = answers.get(query.qt, RegionSet())
+        stats = QueryStats(method="fake", cpu_seconds=0.5, io_count=2, io_seconds=0.02)
+        return QueryResult(regions=regions, stats=stats, query=query)
+
+    return evaluate
+
+
+class TestEvaluateInterval:
+    def test_union_of_snapshots(self):
+        answers = {
+            0: RegionSet([Rect(0, 0, 1, 1)]),
+            1: RegionSet([Rect(5, 5, 6, 6)]),
+            2: RegionSet(),
+        }
+        query = IntervalPDRQuery(rho=1.0, l=2.0, qt1=0, qt2=2)
+        result = evaluate_interval(fake_evaluator(answers), query)
+        assert result.regions.area() == pytest.approx(2.0)
+        assert result.regions.contains_point(0.5, 0.5)
+        assert result.regions.contains_point(5.5, 5.5)
+
+    def test_stats_summed(self):
+        query = IntervalPDRQuery(rho=1.0, l=2.0, qt1=3, qt2=5)
+        result = evaluate_interval(fake_evaluator({}), query)
+        assert result.stats.cpu_seconds == pytest.approx(1.5)
+        assert result.stats.io_count == 6
+        assert result.stats.method == "fake-interval"
+
+    def test_single_snapshot_interval(self):
+        answers = {7: RegionSet([Rect(0, 0, 2, 2)])}
+        query = IntervalPDRQuery(rho=1.0, l=2.0, qt1=7, qt2=7)
+        result = evaluate_interval(fake_evaluator(answers), query)
+        assert result.regions.area() == pytest.approx(4.0)
+
+    def test_overlapping_snapshot_answers_not_double_counted(self):
+        answers = {
+            0: RegionSet([Rect(0, 0, 2, 2)]),
+            1: RegionSet([Rect(1, 1, 3, 3)]),
+        }
+        query = IntervalPDRQuery(rho=1.0, l=2.0, qt1=0, qt2=1)
+        result = evaluate_interval(fake_evaluator(answers), query)
+        assert result.regions.area() == pytest.approx(7.0)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            errors.InvalidParameterError,
+            errors.GeometryError,
+            errors.QueryError,
+            errors.HorizonError,
+            errors.IndexError_,
+            errors.StorageError,
+            errors.DatagenError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+
+    def test_value_error_compat(self):
+        # Parameter/geometry errors double as ValueError for idiomatic
+        # except-clauses in client code.
+        assert issubclass(errors.InvalidParameterError, ValueError)
+        assert issubclass(errors.GeometryError, ValueError)
+
+    def test_horizon_is_query_error(self):
+        assert issubclass(errors.HorizonError, errors.QueryError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.HorizonError("out of window")
+
+    def test_index_error_name_does_not_shadow_builtin(self):
+        assert errors.IndexError_ is not IndexError
+        assert not issubclass(errors.IndexError_, IndexError)

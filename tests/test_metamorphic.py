@@ -1,0 +1,136 @@
+"""Metamorphic properties of the PDR semantics.
+
+These tests check *relations between answers* rather than answers
+themselves: monotonicity in the threshold and the object set, equivariance
+under translation, and additivity of density under object duplication.
+They run against the brute-force oracle (exact by construction and
+cross-validated against FR elsewhere), so a failure here indicts the
+semantics, not an index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import bruteforce_pdr
+from repro.core.geometry import Rect
+from repro.core.query import SnapshotPDRQuery
+
+DOMAIN = Rect(0.0, 0.0, 100.0, 100.0)
+
+positions_strategy = st.lists(
+    st.tuples(st.floats(5, 95), st.floats(5, 95)), min_size=1, max_size=18
+)
+
+
+def answer(positions, rho, l=10.0, domain=DOMAIN):
+    query = SnapshotPDRQuery(rho=rho, l=l, qt=0)
+    return bruteforce_pdr(list(positions), domain, query).regions
+
+
+class TestThresholdMonotonicity:
+    @given(positions_strategy, st.floats(0.01, 0.05), st.floats(1.1, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_higher_threshold_shrinks_answer(self, positions, rho, factor):
+        low = answer(positions, rho)
+        high = answer(positions, rho * factor)
+        # high ⊆ low.
+        assert high.difference_area(low) == pytest.approx(0.0, abs=1e-9)
+
+    @given(positions_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_zero_threshold_is_everything(self, positions):
+        region = answer(positions, 0.0)
+        assert region.area() == pytest.approx(DOMAIN.area)
+
+    @given(positions_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_impossible_threshold_is_empty(self, positions):
+        # More objects required than exist anywhere.
+        rho = (len(positions) + 1) / 100.0  # l^2 = 100
+        assert answer(positions, rho).is_empty()
+
+
+class TestObjectMonotonicity:
+    @given(positions_strategy, st.tuples(st.floats(5, 95), st.floats(5, 95)),
+           st.floats(0.01, 0.05))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_an_object_never_shrinks(self, positions, extra, rho):
+        base = answer(positions, rho)
+        grown = answer(positions + [extra], rho)
+        assert base.difference_area(grown) == pytest.approx(0.0, abs=1e-9)
+
+    @given(positions_strategy, st.floats(0.01, 0.04))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicating_objects_doubles_density(self, positions, rho):
+        """D(S, rho) == D(S + S, 2*rho): density is additive in objects."""
+        single = answer(positions, rho)
+        doubled = answer(positions + positions, 2 * rho)
+        assert single.symmetric_difference_area(doubled) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    @given(positions_strategy, st.floats(0.02, 0.05))
+    @settings(max_examples=30, deadline=None)
+    def test_union_contains_parts(self, positions, rho):
+        half = len(positions) // 2
+        a, b = positions[:half], positions[half:]
+        union_region = answer(positions, rho)
+        for part in (a, b):
+            if not part:
+                continue
+            part_region = answer(part, rho)
+            assert part_region.difference_area(union_region) == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+
+class TestTranslationEquivariance:
+    @given(
+        positions_strategy,
+        st.floats(-20, 20),
+        st.floats(-20, 20),
+        st.floats(0.01, 0.05),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_translate_world_translates_answer(self, positions, dx, dy, rho):
+        base = answer(positions, rho)
+        moved_positions = [(x + dx, y + dy) for x, y in positions]
+        moved_domain = DOMAIN.translated(dx, dy)
+        moved = bruteforce_pdr(
+            moved_positions, moved_domain, SnapshotPDRQuery(rho=rho, l=10.0, qt=0)
+        ).regions
+        back = moved.translated(-dx, -dy)
+        assert base.symmetric_difference_area(back) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestScaleInvariance:
+    @given(positions_strategy, st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_min_count_formulation_equivalent(self, positions, need):
+        """(rho, l) only enter through rho*l^2: equal products, equal answers."""
+        l = 10.0
+        rho_a = need / (l * l)
+        region_a = answer(positions, rho_a, l=l)
+        # A different rho expressing the same required count.
+        rho_b = (need - 0.5) / (l * l)  # counts are integers: same answer
+        region_b = answer(positions, rho_b, l=l)
+        assert region_a.symmetric_difference_area(region_b) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+
+class TestNeighborhoodSize:
+    @given(st.floats(5.0, 30.0))
+    @settings(max_examples=20, deadline=None)
+    def test_single_object_answer_is_l_square(self, l):
+        region = answer([(50.0, 50.0)], rho=0.5 / (l * l), l=l)
+        assert region.area() == pytest.approx(l * l)
+        box = region.bounding_box()
+        assert box.width == pytest.approx(l)
+        assert box.height == pytest.approx(l)
+        assert box.center.x == pytest.approx(50.0)
+        assert box.center.y == pytest.approx(50.0)

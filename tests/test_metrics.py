@@ -1,0 +1,182 @@
+"""Tests for accuracy metrics, raster measurement and cost accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.core.geometry import Rect
+from repro.core.query import QueryStats
+from repro.core.regions import RegionSet
+from repro.metrics.accuracy import (
+    accuracy,
+    false_negative_ratio,
+    false_positive_ratio,
+)
+from repro.metrics.cost import CostAccumulator, UpdateCostTimer
+from repro.metrics.raster import RasterMeasure
+
+DOMAIN = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def region(*rects):
+    return RegionSet([Rect(*r) for r in rects])
+
+
+class TestAccuracyRatios:
+    def test_perfect_answer(self):
+        exact = region((0, 0, 10, 10))
+        report = accuracy(exact, exact)
+        assert report.r_fp == 0.0
+        assert report.r_fn == 0.0
+        assert report.jaccard == pytest.approx(1.0)
+
+    def test_pure_false_positive(self):
+        exact = region((0, 0, 10, 10))
+        reported = region((0, 0, 10, 10), (50, 50, 60, 70))
+        report = accuracy(exact, reported)
+        assert report.r_fp == pytest.approx(2.0)  # 200 spurious / 100 exact
+        assert report.r_fn == 0.0
+
+    def test_r_fp_can_exceed_one(self):
+        # Section 7.2: "r_fp may exceed 100%, while r_fn never does".
+        exact = region((0, 0, 1, 1))
+        reported = region((0, 0, 50, 50))
+        assert false_positive_ratio(exact, reported) > 1.0
+
+    def test_r_fn_at_most_one(self):
+        exact = region((0, 0, 50, 50))
+        assert false_negative_ratio(exact, RegionSet()) == pytest.approx(1.0)
+
+    def test_pure_false_negative(self):
+        exact = region((0, 0, 10, 10), (20, 0, 30, 10))
+        reported = region((0, 0, 10, 10))
+        report = accuracy(exact, reported)
+        assert report.r_fn == pytest.approx(0.5)
+        assert report.r_fp == 0.0
+
+    def test_empty_exact_empty_report(self):
+        report = accuracy(RegionSet(), RegionSet())
+        assert report.r_fp == 0.0
+        assert report.r_fn == 0.0
+        assert report.jaccard == 1.0
+
+    def test_empty_exact_nonempty_report(self):
+        report = accuracy(RegionSet(), region((0, 0, 5, 5)))
+        assert report.r_fp == float("inf")
+        assert report.r_fn == 0.0
+
+    def test_partial_overlap(self):
+        exact = region((0, 0, 10, 10))
+        reported = region((5, 0, 15, 10))
+        report = accuracy(exact, reported)
+        assert report.r_fp == pytest.approx(0.5)
+        assert report.r_fn == pytest.approx(0.5)
+        assert report.jaccard == pytest.approx(50.0 / 150.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40),
+                      st.integers(1, 10), st.integers(1, 10)),
+            max_size=6,
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40),
+                      st.integers(1, 10), st.integers(1, 10)),
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_ratio_bounds_property(self, a_rects, b_rects):
+        exact = RegionSet([Rect(x, y, x + w, y + h) for x, y, w, h in a_rects])
+        reported = RegionSet([Rect(x, y, x + w, y + h) for x, y, w, h in b_rects])
+        report = accuracy(exact, reported)
+        assert report.r_fn <= 1.0 + 1e-9
+        assert report.r_fp >= 0.0
+        assert 0.0 <= report.jaccard <= 1.0 + 1e-9
+
+
+class TestRasterMeasure:
+    def test_area_of_aligned_rect_exact(self):
+        raster = RasterMeasure(DOMAIN, resolution=100)  # 1x1 cells
+        assert raster.area(region((10, 10, 30, 40))) == pytest.approx(600.0)
+
+    def test_accuracy_matches_exact_on_aligned_rects(self):
+        raster = RasterMeasure(DOMAIN, resolution=100)
+        exact = region((0, 0, 20, 20), (50, 50, 70, 60))
+        reported = region((10, 0, 30, 20))
+        exact_report = accuracy(exact, reported)
+        raster_report = raster.accuracy(exact, reported)
+        assert raster_report.r_fp == pytest.approx(exact_report.r_fp)
+        assert raster_report.r_fn == pytest.approx(exact_report.r_fn)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 80), st.floats(0, 80),
+                      st.floats(8, 20), st.floats(8, 20)),
+            min_size=1, max_size=6,
+        ),
+        st.lists(
+            st.tuples(st.floats(0, 80), st.floats(0, 80),
+                      st.floats(8, 20), st.floats(8, 20)),
+            min_size=1, max_size=6,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_close_to_exact_on_unaligned_rects(self, a_rects, b_rects):
+        # Discretisation error in the *ratios* scales with boundary length
+        # over reference area, so keep features at least 8 units (80 cells)
+        # wide — the same regime the harness uses (features >= l/2).
+        raster = RasterMeasure(DOMAIN, resolution=1000)
+        exact = RegionSet([Rect(x, y, x + w, y + h) for x, y, w, h in a_rects])
+        reported = RegionSet([Rect(x, y, x + w, y + h) for x, y, w, h in b_rects])
+        exact_report = accuracy(exact, reported)
+        raster_report = raster.accuracy(exact, reported)
+        assert raster_report.r_fp == pytest.approx(exact_report.r_fp, abs=0.05)
+        assert raster_report.r_fn == pytest.approx(exact_report.r_fn, abs=0.05)
+
+    def test_rect_outside_domain_clipped(self):
+        raster = RasterMeasure(DOMAIN, resolution=50)
+        assert raster.area(region((90, 90, 200, 200))) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RasterMeasure(DOMAIN, resolution=0)
+        with pytest.raises(InvalidParameterError):
+            RasterMeasure(Rect(0, 0, 0, 10), resolution=10)
+
+
+class TestCostAccumulators:
+    def test_means(self):
+        acc = CostAccumulator()
+        acc.add(QueryStats(cpu_seconds=1.0, io_count=10, io_seconds=0.1))
+        acc.add(QueryStats(cpu_seconds=3.0, io_count=20, io_seconds=0.3))
+        assert len(acc) == 2
+        assert acc.mean_cpu_seconds == pytest.approx(2.0)
+        assert acc.mean_io_count == pytest.approx(15.0)
+        assert acc.mean_io_seconds == pytest.approx(0.2)
+        assert acc.mean_total_seconds == pytest.approx(2.2)
+
+    def test_empty_accumulator(self):
+        acc = CostAccumulator()
+        assert acc.mean_cpu_seconds == 0.0
+        assert acc.mean_total_seconds == 0.0
+
+    def test_update_timer(self):
+        timer = UpdateCostTimer()
+        timer.record(0.002)
+        timer.record(0.004)
+        assert timer.updates == 2
+        assert timer.mean_seconds_per_update == pytest.approx(0.003)
+        assert timer.mean_millis_per_update == pytest.approx(3.0)
+
+    def test_update_timer_empty(self):
+        assert UpdateCostTimer().mean_seconds_per_update == 0.0
+
+    def test_update_timer_batch(self):
+        timer = UpdateCostTimer()
+        timer.record(1.0, updates=10)
+        assert timer.mean_millis_per_update == pytest.approx(100.0)

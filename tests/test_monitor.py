@@ -1,0 +1,110 @@
+"""Tests for the continuous PDR monitor extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.methods.monitor import PDRMonitor
+from tests.conftest import populate_clustered
+
+
+@pytest.fixture
+def monitored_server(small_server):
+    populate_clustered(small_server, 100)
+    return small_server
+
+
+class TestConstruction:
+    def test_requires_one_threshold(self, monitored_server):
+        with pytest.raises(InvalidParameterError):
+            PDRMonitor(monitored_server, varrho=2.0, rho=0.1)
+        with pytest.raises(InvalidParameterError):
+            PDRMonitor(monitored_server)
+
+    def test_validation(self, monitored_server):
+        with pytest.raises(InvalidParameterError):
+            PDRMonitor(monitored_server, varrho=2.0, every=0)
+        with pytest.raises(InvalidParameterError):
+            PDRMonitor(monitored_server, varrho=2.0, offset=-1)
+        with pytest.raises(InvalidParameterError):
+            PDRMonitor(
+                monitored_server,
+                varrho=2.0,
+                offset=monitored_server.config.prediction_window + 1,
+            )
+
+
+class TestPolling:
+    def test_poll_produces_event(self, monitored_server):
+        monitor = PDRMonitor(monitored_server, varrho=4.0, method="pa")
+        event = monitor.poll()
+        assert event.tnow == monitored_server.tnow
+        assert event.qt == event.tnow
+        assert monitor.latest is event
+
+    def test_first_event_reports_everything_as_appeared(self, monitored_server):
+        monitor = PDRMonitor(monitored_server, varrho=4.0, method="fr")
+        event = monitor.poll()
+        assert event.appeared_area == pytest.approx(event.regions.area(), rel=1e-9)
+        assert event.vanished_area == 0.0
+
+    def test_stable_world_second_poll_unchanged(self, monitored_server):
+        monitor = PDRMonitor(monitored_server, varrho=4.0, method="fr")
+        monitor.poll()
+        second = monitor.poll()
+        assert not second.changed
+
+    def test_change_detection_on_new_cluster(self, monitored_server):
+        monitor = PDRMonitor(monitored_server, rho=0.08, method="fr")
+        monitor.poll()
+        # Drop a brand-new tight cluster far from the existing ones.
+        base = 1000
+        for i in range(12):
+            monitored_server.report(base + i, 85.0 + (i % 4) * 0.5,
+                                    20.0 + (i // 4) * 0.5, 0.0, 0.0)
+        event = monitor.poll()
+        assert event.appeared_area > 0.0
+        assert event.regions.contains_point(85.5, 20.5)
+
+    def test_vanished_area_on_retire(self, monitored_server):
+        monitor = PDRMonitor(monitored_server, rho=0.08, method="fr")
+        base = 2000
+        for i in range(12):
+            monitored_server.report(base + i, 85.0 + (i % 4) * 0.5,
+                                    20.0 + (i // 4) * 0.5, 0.0, 0.0)
+        monitor.poll()
+        for i in range(12):
+            monitored_server.table.retire(base + i)
+        event = monitor.poll()
+        assert event.vanished_area > 0.0
+
+
+class TestClockDriven:
+    def test_evaluates_on_advance(self, monitored_server):
+        monitor = PDRMonitor(monitored_server, varrho=4.0, every=2, offset=3)
+        monitored_server.table.add_listener(monitor)
+        monitored_server.advance_to(monitored_server.tnow + 1)
+        assert len(monitor.events) == 1  # first advance always evaluates
+        monitored_server.advance_to(monitored_server.tnow + 1)
+        assert len(monitor.events) == 1  # within `every`
+        monitored_server.advance_to(monitored_server.tnow + 1)
+        assert len(monitor.events) == 2
+
+    def test_offset_applied(self, monitored_server):
+        monitor = PDRMonitor(monitored_server, varrho=4.0, offset=5)
+        monitored_server.table.add_listener(monitor)
+        monitored_server.advance_to(monitored_server.tnow + 1)
+        event = monitor.latest
+        assert event.qt == event.tnow + 5
+
+    def test_changed_events_filter(self, monitored_server):
+        monitor = PDRMonitor(monitored_server, varrho=4.0, method="fr")
+        first = monitor.poll()
+        monitor.poll()  # no change
+        changed = monitor.changed_events()
+        if first.regions.area() > 0:
+            assert changed == [first]
+        else:
+            assert changed == []

@@ -1,0 +1,164 @@
+"""Tests for the moving-object substrate: motions, updates, the table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError, QueryError
+from repro.motion.model import Motion
+from repro.motion.table import ObjectTable
+from repro.motion.updates import DeleteUpdate, InsertUpdate, UpdateListener
+
+
+class Recorder(UpdateListener):
+    """Collects every event for assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_insert(self, update):
+        self.events.append(("insert", update.tnow, update.motion))
+
+    def on_delete(self, update):
+        self.events.append(("delete", update.tnow, update.motion))
+
+    def on_advance(self, tnow):
+        self.events.append(("advance", tnow, None))
+
+
+class TestMotion:
+    def test_position_at_reference(self):
+        m = Motion(1, 5, 10.0, 20.0, 2.0, -1.0)
+        assert m.position_at(5) == (10.0, 20.0)
+
+    def test_linear_extrapolation(self):
+        m = Motion(1, 5, 10.0, 20.0, 2.0, -1.0)
+        assert m.position_at(8) == (16.0, 17.0)
+        # Backwards extrapolation is well-defined under the linear model.
+        assert m.position_at(3) == (6.0, 22.0)
+
+    def test_positions_at_vectorised(self):
+        m = Motion(0, 0, 0.0, 0.0, 1.0, 2.0)
+        xs, ys = m.positions_at(np.array([0, 1, 2]))
+        assert xs.tolist() == [0.0, 1.0, 2.0]
+        assert ys.tolist() == [0.0, 2.0, 4.0]
+
+    def test_speed(self):
+        assert Motion(0, 0, 0, 0, 3.0, 4.0).speed == pytest.approx(5.0)
+
+    def test_with_reference(self):
+        m = Motion(7, 0, 0.0, 0.0, 1.0, 1.0).with_reference(10)
+        assert m.t_ref == 10
+        assert (m.x, m.y) == (10.0, 10.0)
+        assert m.position_at(12) == (12.0, 12.0)
+
+    def test_negative_oid_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Motion(-1, 0, 0, 0, 0, 0)
+
+    @given(
+        st.integers(0, 100),
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+        st.floats(-5, 5),
+        st.floats(-5, 5),
+        st.integers(0, 50),
+        st.integers(0, 50),
+    )
+    def test_rebasing_preserves_trajectory(self, t0, x, y, vx, vy, t1, t2):
+        m = Motion(0, t0, x, y, vx, vy)
+        rebased = m.with_reference(t0 + t1)
+        p1 = m.position_at(t0 + t1 + t2)
+        p2 = rebased.position_at(t0 + t1 + t2)
+        assert p1[0] == pytest.approx(p2[0], abs=1e-6)
+        assert p1[1] == pytest.approx(p2[1], abs=1e-6)
+
+
+class TestObjectTable:
+    def test_first_report_is_insert_only(self):
+        table = ObjectTable()
+        rec = Recorder()
+        table.add_listener(rec)
+        table.report(1, 0.0, 0.0, 1.0, 1.0)
+        assert [e[0] for e in rec.events] == ["insert"]
+
+    def test_second_report_is_delete_then_insert(self):
+        table = ObjectTable()
+        rec = Recorder()
+        table.add_listener(rec)
+        table.report(1, 0.0, 0.0, 1.0, 1.0)
+        table.advance_to(3)
+        table.report(1, 5.0, 5.0, 0.0, 0.0)
+        kinds = [e[0] for e in rec.events]
+        assert kinds == ["insert", "advance", "delete", "insert"]
+        delete_event = rec.events[2]
+        assert delete_event[1] == 3  # retraction effective now
+        assert delete_event[2].t_ref == 0  # ... of the motion registered at 0
+
+    def test_motion_lookup(self):
+        table = ObjectTable()
+        table.report(4, 1.0, 2.0, 0.5, 0.5)
+        m = table.motion_of(4)
+        assert m is not None and (m.x, m.y) == (1.0, 2.0)
+        assert table.motion_of(99) is None
+        assert 4 in table
+        assert len(table) == 1
+
+    def test_retire(self):
+        table = ObjectTable()
+        rec = Recorder()
+        table.add_listener(rec)
+        table.report(1, 0.0, 0.0, 0.0, 0.0)
+        table.retire(1)
+        assert 1 not in table
+        assert [e[0] for e in rec.events] == ["insert", "delete"]
+
+    def test_retire_unknown_raises(self):
+        with pytest.raises(QueryError):
+            ObjectTable().retire(12)
+
+    def test_clock_cannot_go_backwards(self):
+        table = ObjectTable(tnow=5)
+        with pytest.raises(InvalidParameterError):
+            table.advance_to(4)
+
+    def test_advance_to_same_time_is_noop(self):
+        table = ObjectTable(tnow=5)
+        rec = Recorder()
+        table.add_listener(rec)
+        table.advance_to(5)
+        assert rec.events == []
+
+    def test_positions_at(self):
+        table = ObjectTable()
+        table.report(0, 0.0, 0.0, 1.0, 0.0)
+        table.report(1, 10.0, 10.0, 0.0, -1.0)
+        positions = dict((oid, (x, y)) for oid, x, y in table.positions_at(2.0))
+        assert positions[0] == (2.0, 0.0)
+        assert positions[1] == (10.0, 8.0)
+
+    def test_remove_listener(self):
+        table = ObjectTable()
+        rec = Recorder()
+        table.add_listener(rec)
+        table.remove_listener(rec)
+        table.report(0, 0.0, 0.0, 0.0, 0.0)
+        assert rec.events == []
+
+    def test_report_uses_current_clock_as_reference(self):
+        table = ObjectTable()
+        table.advance_to(7)
+        m = table.report(0, 1.0, 1.0, 0.0, 0.0)
+        assert m.t_ref == 7
+
+
+class TestUpdateListenerDefaults:
+    def test_hooks_are_noops(self):
+        listener = UpdateListener()
+        m = Motion(0, 0, 0, 0, 0, 0)
+        listener.on_insert(InsertUpdate(0, m))
+        listener.on_delete(DeleteUpdate(0, m))
+        listener.on_advance(5)

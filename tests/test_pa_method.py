@@ -1,0 +1,176 @@
+"""Tests for the PA method: on-line maintenance and query evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import HorizonError, InvalidParameterError
+from repro.core.geometry import Rect
+from repro.core.query import SnapshotPDRQuery
+from repro.methods.pa import PAMethod
+from repro.motion.table import ObjectTable
+
+DOMAIN = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def make_pa(l=10.0, horizon=5, g=4, k=4, tnow=0):
+    return PAMethod(DOMAIN, l=l, horizon=horizon, g=g, k=k, md=128, tnow=tnow)
+
+
+def rebuilt_surface(pa_template: PAMethod, table: ObjectTable, qt: int):
+    """Reference surface: rebuild from scratch from the live objects."""
+    from repro.chebyshev.grid import ChebSurface
+
+    spec = pa_template.spec
+    surface = ChebSurface(spec, spec.zero_coefficients())
+    for motion in table.motions():
+        # Only motions whose insert covered qt contribute, and only while
+        # the object is inside the domain (the shared density convention).
+        if motion.t_ref <= qt <= motion.t_ref + pa_template.horizon:
+            x, y = motion.position_at(qt)
+            if DOMAIN.contains_point(x, y):
+                surface.add_object(x, y, pa_template.l)
+    return surface
+
+
+class TestMaintenance:
+    def test_insert_increases_density_near_object(self):
+        pa = make_pa()
+        table = ObjectTable()
+        table.add_listener(pa)
+        table.report(0, 50.0, 50.0, 0.0, 0.0)
+        surface = pa.surface_at(0)
+        assert surface.density_at(50.0, 50.0) > 0.0
+
+    def test_delete_cancels_insert_exactly(self):
+        pa = make_pa()
+        table = ObjectTable()
+        table.add_listener(pa)
+        before = pa._coeffs.copy()
+        table.report(0, 37.0, 21.0, 1.0, -0.5)
+        table.retire(0)
+        assert np.allclose(pa._coeffs, before, atol=1e-12)
+
+    @given(st.integers(1, 12), st.integers(0, 10_000), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_equals_rebuild(self, n, seed, qt):
+        """Incremental coefficient maintenance == rebuild from live objects."""
+        gen = np.random.default_rng(seed)
+        pa = make_pa()
+        table = ObjectTable()
+        table.add_listener(pa)
+        for oid in range(n):
+            table.report(
+                oid,
+                float(gen.uniform(5, 95)),
+                float(gen.uniform(5, 95)),
+                float(gen.uniform(-2, 2)),
+                float(gen.uniform(-2, 2)),
+            )
+            if gen.random() < 0.3:
+                table.report(
+                    oid,
+                    float(gen.uniform(5, 95)),
+                    float(gen.uniform(5, 95)),
+                    0.0,
+                    0.0,
+                )
+        reference = rebuilt_surface(pa, table, qt)
+        live = pa.surface_at(qt)
+        assert np.allclose(live.coeffs, reference.coeffs, atol=1e-9)
+
+    def test_advance_then_rereport_keeps_window_exact(self):
+        pa = make_pa(horizon=5)
+        table = ObjectTable()
+        table.add_listener(pa)
+        table.report(0, 50.0, 50.0, 1.0, 0.0)
+        table.advance_to(3)
+        table.report(0, 53.0, 50.0, 1.0, 0.0)
+        for qt in range(3, 9):
+            reference = rebuilt_surface(pa, table, qt)
+            assert np.allclose(pa.surface_at(qt).coeffs, reference.coeffs, atol=1e-9)
+
+    def test_window_errors(self):
+        pa = make_pa(horizon=5, tnow=2)
+        with pytest.raises(HorizonError):
+            pa.surface_at(1)
+        with pytest.raises(HorizonError):
+            pa.surface_at(8)
+
+    def test_advance_past_window_resets(self):
+        pa = make_pa(horizon=5)
+        table = ObjectTable()
+        table.add_listener(pa)
+        table.report(0, 50.0, 50.0, 0.0, 0.0)
+        table.advance_to(30)
+        assert np.allclose(pa.surface_at(32).coeffs, 0.0)
+
+    def test_object_outside_domain_contributes_nothing(self):
+        pa = make_pa()
+        table = ObjectTable()
+        table.add_listener(pa)
+        table.report(0, 95.0, 50.0, 20.0, 0.0)  # far outside from t=1 on
+        assert np.allclose(pa.surface_at(3).coeffs, 0.0, atol=1e-12)
+
+    def test_memory_accounting(self):
+        pa = make_pa(g=4, k=4, horizon=5)
+        assert pa.memory_bytes() == 6 * 16 * 15 * 8  # (k+1)(k+2)/2 = 15
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PAMethod(DOMAIN, l=0.0, horizon=5)
+        with pytest.raises(InvalidParameterError):
+            PAMethod(DOMAIN, l=5.0, horizon=-1)
+        pa = make_pa()
+        with pytest.raises(InvalidParameterError):
+            pa.on_advance(-1)
+
+
+class TestQuery:
+    def test_l_mismatch_rejected(self):
+        pa = make_pa(l=10.0)
+        with pytest.raises(InvalidParameterError):
+            pa.query(SnapshotPDRQuery(rho=0.1, l=20.0, qt=0))
+
+    def test_finds_cluster(self):
+        pa = make_pa(g=5, k=5)
+        table = ObjectTable()
+        table.add_listener(pa)
+        gen = np.random.default_rng(1)
+        for oid in range(30):
+            x, y = gen.normal([50.0, 50.0], 2.5, size=2)
+            table.report(oid, float(x), float(y), 0.0, 0.0)
+        # Cluster density ~ 30 objects / 100 area; threshold 0.05.
+        result = pa.query(SnapshotPDRQuery(rho=0.05, l=10.0, qt=0))
+        assert result.regions.contains_point(50.0, 50.0)
+        assert not result.regions.contains_point(10.0, 90.0)
+        assert result.stats.method == "pa"
+        assert result.stats.bnb_nodes > 0
+
+    def test_empty_world_empty_answer(self):
+        pa = make_pa()
+        result = pa.query(SnapshotPDRQuery(rho=0.01, l=10.0, qt=0))
+        assert result.regions.is_empty()
+
+    def test_query_tracks_moving_cluster(self):
+        pa = make_pa(g=5, k=5, horizon=5)
+        table = ObjectTable()
+        table.add_listener(pa)
+        gen = np.random.default_rng(2)
+        for oid in range(30):
+            x, y = gen.normal([30.0, 50.0], 2.0, size=2)
+            table.report(oid, float(x), float(y), 8.0, 0.0)  # moving right
+        q0 = pa.query(SnapshotPDRQuery(rho=0.05, l=10.0, qt=0))
+        q5 = pa.query(SnapshotPDRQuery(rho=0.05, l=10.0, qt=5))
+        assert q0.regions.contains_point(30.0, 50.0)
+        assert not q0.regions.contains_point(70.0, 50.0)
+        assert q5.regions.contains_point(70.0, 50.0)
+        assert not q5.regions.contains_point(30.0, 50.0)
+
+    def test_stats_extra_fields(self):
+        pa = make_pa()
+        result = pa.query(SnapshotPDRQuery(rho=0.01, l=10.0, qt=0))
+        assert "bnb_pruned" in result.stats.extra

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.experiments.plots import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=6)
+        lines = chart.splitlines()
+        assert any("*" in line for line in lines)
+        assert any("+" + "-" * 20 in line for line in lines)
+        assert "a" in lines[-1]
+
+    def test_title_and_labels(self):
+        chart = ascii_chart(
+            [0, 1], {"s": [0.0, 1.0]}, title="T", x_label="x", width=12, height=4
+        )
+        assert chart.splitlines()[0] == "T"
+        assert "[x]" in chart
+
+    def test_two_series_get_distinct_markers(self):
+        chart = ascii_chart([0, 1, 2], {"a": [0, 1, 2], "b": [2, 1, 0]},
+                            width=20, height=6)
+        assert "*" in chart and "o" in chart
+
+    def test_log_scale_spans_orders(self):
+        chart = ascii_chart(
+            [1, 2], {"a": [0.01, 1000.0]}, log_y=True, width=20, height=8
+        )
+        assert "(log y)" in chart
+        assert "1.0e+03" in chart or "1000" in chart
+
+    def test_constant_series_renders(self):
+        chart = ascii_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]}, width=20, height=5)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(InvalidParameterError):
+            ascii_chart([1], {"a": [1.0]})
+        with pytest.raises(InvalidParameterError):
+            ascii_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(InvalidParameterError):
+            ascii_chart([1, 2], {"a": [1.0, 2.0]}, width=5)
+
+    def test_points_land_at_extremes(self):
+        chart = ascii_chart([0, 10], {"a": [0.0, 100.0]}, width=30, height=10)
+        lines = [ln for ln in chart.splitlines() if "|" in ln]
+        body = [ln.split("|", 1)[1] for ln in lines]
+        # Max value in the top row, min value in the bottom row.
+        assert "*" in body[0]
+        assert "*" in body[-1]

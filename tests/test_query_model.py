@@ -1,0 +1,139 @@
+"""Tests for the query model (Definitions 3-5) and stats accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.core.query import (
+    IntervalPDRQuery,
+    QueryResult,
+    QueryStats,
+    SnapshotPDRQuery,
+    relative_to_absolute_threshold,
+)
+from repro.core.regions import RegionSet
+from repro.core.geometry import Rect
+
+
+class TestRelativeThreshold:
+    def test_paper_formula(self):
+        # Section 7: rho = N * varrho / 10^6 for the 1000x1000 domain.
+        assert relative_to_absolute_threshold(2.0, 100_000, 1e6) == pytest.approx(0.2)
+
+    def test_paper_range_for_ch500k(self):
+        # "rho varying between 0.5 to 2.5 for dataset CH500k" (varrho 1..5).
+        lo = relative_to_absolute_threshold(1.0, 500_000, 1e6)
+        hi = relative_to_absolute_threshold(5.0, 500_000, 1e6)
+        assert lo == pytest.approx(0.5)
+        assert hi == pytest.approx(2.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            relative_to_absolute_threshold(-1.0, 10, 1.0)
+        with pytest.raises(InvalidParameterError):
+            relative_to_absolute_threshold(1.0, -10, 1.0)
+        with pytest.raises(InvalidParameterError):
+            relative_to_absolute_threshold(1.0, 10, 0.0)
+
+    @given(st.floats(0, 100), st.integers(0, 10**7), st.floats(0.1, 1e7))
+    def test_scales_linearly_in_n(self, varrho, n, area):
+        rho = relative_to_absolute_threshold(varrho, n, area)
+        rho2 = relative_to_absolute_threshold(varrho, 2 * n, area)
+        assert rho2 == pytest.approx(2 * rho)
+
+
+class TestSnapshotQuery:
+    def test_min_count(self):
+        q = SnapshotPDRQuery(rho=0.5, l=10.0, qt=3)
+        assert q.min_count == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SnapshotPDRQuery(rho=-0.1, l=1.0, qt=0)
+        with pytest.raises(InvalidParameterError):
+            SnapshotPDRQuery(rho=1.0, l=0.0, qt=0)
+        with pytest.raises(InvalidParameterError):
+            SnapshotPDRQuery(rho=float("nan"), l=1.0, qt=0)
+        with pytest.raises(InvalidParameterError):
+            SnapshotPDRQuery(rho=float("inf"), l=1.0, qt=0)
+
+    def test_zero_rho_allowed(self):
+        assert SnapshotPDRQuery(rho=0.0, l=1.0, qt=0).min_count == 0.0
+
+    def test_with_timestamp(self):
+        q = SnapshotPDRQuery(rho=1.0, l=2.0, qt=0).with_timestamp(9)
+        assert q.qt == 9
+        assert q.rho == 1.0
+
+    def test_frozen(self):
+        q = SnapshotPDRQuery(rho=1.0, l=2.0, qt=0)
+        with pytest.raises(AttributeError):
+            q.rho = 2.0
+
+
+class TestIntervalQuery:
+    def test_snapshots_cover_interval(self):
+        q = IntervalPDRQuery(rho=1.0, l=2.0, qt1=3, qt2=6)
+        snaps = list(q.snapshots())
+        assert [s.qt for s in snaps] == [3, 4, 5, 6]
+        assert all(s.rho == 1.0 and s.l == 2.0 for s in snaps)
+
+    def test_single_timestamp(self):
+        q = IntervalPDRQuery(rho=1.0, l=2.0, qt1=5, qt2=5)
+        assert len(list(q.snapshots())) == 1
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IntervalPDRQuery(rho=1.0, l=2.0, qt1=6, qt2=3)
+
+    def test_scalar_validation_delegated(self):
+        with pytest.raises(InvalidParameterError):
+            IntervalPDRQuery(rho=-1.0, l=2.0, qt1=0, qt2=1)
+
+
+class TestQueryStats:
+    def test_total_seconds(self):
+        s = QueryStats(cpu_seconds=0.5, io_seconds=2.0)
+        assert s.total_seconds == pytest.approx(2.5)
+
+    def test_merge_adds_counters(self):
+        a = QueryStats(method="fr", cpu_seconds=1.0, io_count=5, io_seconds=0.05,
+                       accepted_cells=2, candidate_cells=3, objects_examined=7)
+        b = QueryStats(cpu_seconds=0.5, io_count=1, io_seconds=0.01,
+                       rejected_cells=4, bnb_nodes=11)
+        m = a.merged_with(b)
+        assert m.method == "fr"
+        assert m.cpu_seconds == pytest.approx(1.5)
+        assert m.io_count == 6
+        assert m.io_seconds == pytest.approx(0.06)
+        assert m.accepted_cells == 2
+        assert m.rejected_cells == 4
+        assert m.candidate_cells == 3
+        assert m.objects_examined == 7
+        assert m.bnb_nodes == 11
+
+    def test_merge_extra_dict(self):
+        a = QueryStats(extra={"x": 1.0})
+        b = QueryStats(extra={"x": 2.0, "y": 3.0})
+        m = a.merged_with(b)
+        assert m.extra == {"x": 3.0, "y": 3.0}
+
+    def test_merge_does_not_mutate_operands(self):
+        a = QueryStats(cpu_seconds=1.0, extra={"x": 1.0})
+        b = QueryStats(cpu_seconds=2.0)
+        a.merged_with(b)
+        assert a.cpu_seconds == 1.0
+        assert a.extra == {"x": 1.0}
+
+
+class TestQueryResult:
+    def test_area_and_iter(self):
+        regions = RegionSet([Rect(0, 0, 2, 3)])
+        result = QueryResult(regions=regions, stats=QueryStats())
+        assert result.area() == pytest.approx(6.0)
+        assert list(result) == [Rect(0, 0, 2, 3)]

@@ -1,0 +1,172 @@
+"""Tests for server snapshot persistence and the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.errors import QueryError, StorageError
+from repro.storage.snapshot import load_server, save_server
+from tests.conftest import populate_clustered, small_system_config
+from repro.core.system import PDRServer
+
+
+@pytest.fixture
+def warm_server():
+    server = PDRServer(small_system_config(), expected_objects=120)
+    populate_clustered(server, 120, seed=5)
+    server.advance_to(2)
+    # A few re-reports after the advance so ring buffers are non-trivial.
+    gen = np.random.default_rng(9)
+    for oid in range(0, 20):
+        x, y = gen.uniform(10, 90, size=2)
+        server.report(oid, float(x), float(y), 0.1, -0.1)
+    return server
+
+
+class TestSnapshotRoundTrip:
+    def test_motions_preserved(self, warm_server, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_server(warm_server, path)
+        restored = load_server(path)
+        assert restored.tnow == warm_server.tnow
+        assert restored.object_count() == warm_server.object_count()
+        for motion in warm_server.table.motions():
+            twin = restored.table.motion_of(motion.oid)
+            assert twin is not None
+            assert (twin.x, twin.y, twin.vx, twin.vy, twin.t_ref) == (
+                motion.x, motion.y, motion.vx, motion.vy, motion.t_ref,
+            )
+
+    def test_queries_identical_after_restore(self, warm_server, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_server(warm_server, path)
+        restored = load_server(path)
+        qt = warm_server.tnow + 3
+        for method in ("fr", "pa", "dh-optimistic"):
+            a = warm_server.query(method, qt=qt, varrho=3.0)
+            b = restored.query(method, qt=qt, varrho=3.0)
+            assert a.regions.symmetric_difference_area(b.regions) == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    def test_restored_server_accepts_updates(self, warm_server, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_server(warm_server, path)
+        restored = load_server(path)
+        restored.report(9999, 50.0, 50.0, 0.0, 0.0)
+        restored.advance_to(restored.tnow + 1)
+        assert restored.object_count() == warm_server.object_count() + 1
+        # Structures stay mutually consistent after restore + new updates.
+        exact = restored.query("fr", qt=restored.tnow, varrho=3.0)
+        oracle = restored.query("bruteforce", qt=restored.tnow, varrho=3.0)
+        assert exact.regions.symmetric_difference_area(
+            oracle.regions
+        ) == pytest.approx(0.0, abs=1e-6)
+
+    def test_bad_version_rejected(self, warm_server, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_server(warm_server, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["format_version"] = np.int64(999)
+        np.savez(path, **data)
+        with pytest.raises(StorageError):
+            load_server(path)
+
+    def test_restore_requires_empty_table(self, warm_server):
+        with pytest.raises(QueryError):
+            warm_server.table.restore([], 0)
+
+    def test_shape_mismatch_rejected(self, warm_server):
+        from repro.core.errors import InvalidParameterError
+
+        bad = {"counts": np.zeros((2, 3, 3), dtype=np.int32),
+               "slot_time": np.zeros(2, dtype=np.int64), "tnow": 0}
+        with pytest.raises(InvalidParameterError):
+            warm_server.histogram.load_state_arrays(bad)
+        bad_pa = {"coeffs": np.zeros((2, 1, 1, 2, 2)),
+                  "slot_time": np.zeros(2, dtype=np.int64), "tnow": 0}
+        with pytest.raises(InvalidParameterError):
+            warm_server.pa.load_state_arrays(bad_pa)
+
+    def test_state_arrays_are_copies(self, warm_server):
+        state = warm_server.histogram.state_arrays()
+        state["counts"][:] = -99
+        assert int(warm_server.histogram.counts_at(warm_server.tnow).min()) >= 0
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--objects", "10", "--out", "x.npz"])
+        assert args.command == "simulate"
+        args = parser.parse_args(
+            ["query", "--snapshot", "x.npz", "--varrho", "2"]
+        )
+        assert args.command == "query"
+        assert args.method == "pa"
+
+    def test_query_requires_threshold(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["query", "--snapshot", "x.npz"])
+
+    def test_simulate_then_query(self, tmp_path, capsys):
+        snap = tmp_path / "world.npz"
+        rc = main(
+            [
+                "simulate", "--objects", "150", "--warmup", "4",
+                "--network-grid", "8", "--out", str(snap),
+            ]
+        )
+        assert rc == 0
+        assert snap.exists()
+        rc = main(
+            [
+                "query", "--snapshot", str(snap), "--method", "pa",
+                "--varrho", "3", "--offset", "2", "--max-rects", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dense rectangles" in out
+
+    def test_peaks_subcommand(self, tmp_path, capsys):
+        snap = tmp_path / "world.npz"
+        main(["simulate", "--objects", "120", "--warmup", "2",
+              "--network-grid", "8", "--out", str(snap)])
+        capsys.readouterr()
+        rc = main(["peaks", "--snapshot", str(snap), "--k", "2",
+                   "--separation", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "density peaks" in out
+        assert out.count("density 0") >= 1
+
+    def test_query_geojson(self, tmp_path, capsys):
+        import json
+
+        snap = tmp_path / "world.npz"
+        main(["simulate", "--objects", "120", "--warmup", "2",
+              "--network-grid", "8", "--out", str(snap)])
+        capsys.readouterr()
+        main(["query", "--snapshot", str(snap), "--method", "pa",
+              "--varrho", "4", "--geojson", "--max-rects", "0"])
+        out = capsys.readouterr().out
+        geo_line = out.strip().splitlines()[-1]
+        geo = json.loads(geo_line)
+        assert geo["type"] == "MultiPolygon"
+
+    def test_query_render(self, tmp_path, capsys):
+        snap = tmp_path / "world.npz"
+        main(["simulate", "--objects", "100", "--warmup", "2",
+              "--network-grid", "8", "--out", str(snap)])
+        capsys.readouterr()
+        main(["query", "--snapshot", str(snap), "--method", "dh-optimistic",
+              "--varrho", "2", "--render"])
+        out = capsys.readouterr().out
+        assert "\n" in out
+        # The render block is 30 lines of 60 chars.
+        lines = out.strip().splitlines()
+        assert any(len(line) == 60 for line in lines)

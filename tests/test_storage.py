@@ -1,0 +1,146 @@
+"""Tests for the simulated storage layer (page model + buffer pool)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.storage.buffer import BufferPool, IOStats
+from repro.storage.pages import DEFAULT_PAGE_MODEL, PageModel
+
+
+class TestPageModel:
+    def test_default_is_4k_10ms_10pct(self):
+        pm = DEFAULT_PAGE_MODEL
+        assert pm.page_size == 4096
+        assert pm.random_io_seconds == pytest.approx(0.010)
+        assert pm.buffer_fraction == pytest.approx(0.10)
+
+    def test_fanouts_fit_in_page(self):
+        pm = PageModel(page_size=4096)
+        assert pm.leaf_fanout * 40 <= 4096
+        assert pm.internal_fanout * 72 <= 4096
+        assert pm.leaf_fanout > pm.internal_fanout  # leaf entries are smaller
+
+    def test_small_page_raises(self):
+        with pytest.raises(InvalidParameterError):
+            PageModel(page_size=100)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(InvalidParameterError):
+            PageModel(buffer_fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            PageModel(random_io_seconds=-1.0)
+
+    def test_dataset_pages_rounds_up(self):
+        pm = PageModel()
+        f = pm.leaf_fanout
+        assert pm.dataset_pages(f) == 1
+        assert pm.dataset_pages(f + 1) == 2
+        assert pm.dataset_pages(0) == 1  # at least one page
+
+    def test_buffer_pages_is_10_percent(self):
+        pm = PageModel()
+        n = pm.leaf_fanout * 100  # exactly 100 pages
+        assert pm.buffer_pages(n) == 10
+
+    def test_buffer_pages_minimum_one(self):
+        assert PageModel().buffer_pages(1) == 1
+
+    def test_negative_objects_raise(self):
+        with pytest.raises(InvalidParameterError):
+            PageModel().dataset_pages(-1)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity_pages=2)
+        assert pool.access(1) is False
+        assert pool.access(1) is True
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)  # 1 becomes most-recent
+        pool.access(3)  # evicts 2
+        assert pool.contains(1)
+        assert not pool.contains(2)
+        assert pool.contains(3)
+
+    def test_capacity_respected(self):
+        pool = BufferPool(capacity_pages=3)
+        for page in range(10):
+            pool.access(page)
+        assert len(pool) == 3
+
+    def test_invalidate(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.access(7)
+        pool.invalidate(7)
+        assert not pool.contains(7)
+        assert pool.access(7) is False  # now a miss again
+
+    def test_invalidate_absent_is_noop(self):
+        BufferPool(capacity_pages=1).invalidate(99)
+
+    def test_clear(self):
+        pool = BufferPool(capacity_pages=4)
+        pool.access(1)
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_charged_seconds(self):
+        pool = BufferPool(capacity_pages=1, random_io_seconds=0.01)
+        pool.access(1)
+        pool.access(2)
+        pool.access(2)
+        assert pool.charged_seconds() == pytest.approx(0.02)
+
+    def test_reset_stats_returns_previous(self):
+        pool = BufferPool(capacity_pages=1)
+        pool.access(1)
+        old = pool.reset_stats()
+        assert old.misses == 1
+        assert pool.stats.misses == 0
+
+    def test_resize_shrink_evicts(self):
+        pool = BufferPool(capacity_pages=4)
+        for page in range(4):
+            pool.access(page)
+        pool.resize(2)
+        assert len(pool) == 2
+        assert pool.contains(3) and pool.contains(2)  # most recent survive
+
+    def test_resize_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            BufferPool(capacity_pages=1).resize(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(InvalidParameterError):
+            BufferPool(capacity_pages=0)
+        with pytest.raises(InvalidParameterError):
+            BufferPool(capacity_pages=1, random_io_seconds=-0.1)
+
+    def test_io_stats_ratios(self):
+        stats = IOStats(hits=3, misses=1)
+        assert stats.accesses == 4
+        assert stats.hit_ratio == pytest.approx(0.75)
+        assert IOStats().hit_ratio == 0.0
+
+    @given(st.lists(st.integers(0, 5), max_size=60), st.integers(1, 4))
+    def test_working_set_smaller_than_capacity_always_hits_after_first(
+        self, accesses, capacity
+    ):
+        """If distinct pages <= capacity, each page misses exactly once."""
+        distinct = set(accesses)
+        if len(distinct) > capacity:
+            return
+        pool = BufferPool(capacity_pages=capacity)
+        for page in accesses:
+            pool.access(page)
+        assert pool.stats.misses == len(distinct)

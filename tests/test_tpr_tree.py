@@ -1,0 +1,254 @@
+"""Tests for the TPR-tree: structure, correctness against brute force, I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.core.geometry import Rect
+from repro.index.split import bound_of_entries, pick_split
+from repro.index.tree import TPRTree
+from repro.motion.model import Motion
+from repro.storage.buffer import BufferPool
+
+
+def make_tree(fanout=8, horizon=20, buffer_pool=None, tnow=0):
+    return TPRTree(
+        horizon=horizon, buffer_pool=buffer_pool, tnow=tnow, fanout_override=fanout
+    )
+
+
+def random_motions(n, seed=0, tnow=0):
+    gen = np.random.default_rng(seed)
+    return [
+        Motion(
+            oid=i,
+            t_ref=tnow,
+            x=float(gen.uniform(0, 100)),
+            y=float(gen.uniform(0, 100)),
+            vx=float(gen.uniform(-2, 2)),
+            vy=float(gen.uniform(-2, 2)),
+        )
+        for i in range(n)
+    ]
+
+
+def brute_range(motions, rect, qt):
+    out = []
+    for m in motions:
+        x, y = m.position_at(qt)
+        if rect.x1 <= x <= rect.x2 and rect.y1 <= y <= rect.y2:
+            out.append(m.oid)
+    return sorted(out)
+
+
+class TestInsertBasics:
+    def test_empty_tree(self):
+        tree = make_tree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.range_query(Rect(0, 0, 100, 100), 0) == []
+
+    def test_single_insert_and_query(self):
+        tree = make_tree()
+        tree.insert(Motion(1, 0, 5.0, 5.0, 1.0, 0.0))
+        hits = tree.range_query(Rect(0, 0, 10, 10), 0)
+        assert [m.oid for m in hits] == [1]
+        # At t=10 the object has moved to x=15: outside.
+        assert tree.range_query(Rect(0, 0, 10, 10), 10) == []
+        assert [m.oid for m in tree.range_query(Rect(10, 0, 20, 10), 10)] == [1]
+
+    def test_duplicate_oid_rejected(self):
+        tree = make_tree()
+        tree.insert(Motion(1, 0, 0, 0, 0, 0))
+        with pytest.raises(IndexError_):
+            tree.insert(Motion(1, 0, 5, 5, 0, 0))
+
+    def test_split_grows_height(self):
+        tree = make_tree(fanout=4)
+        for m in random_motions(30):
+            tree.insert(m)
+        assert tree.height >= 2
+        assert len(tree) == 30
+        tree.validate()
+
+    def test_query_before_tnow_raises(self):
+        tree = make_tree(tnow=5)
+        with pytest.raises(IndexError_):
+            tree.range_query(Rect(0, 0, 1, 1), 4)
+
+
+class TestDelete:
+    def test_delete_removes_object(self):
+        tree = make_tree()
+        m = Motion(3, 0, 5.0, 5.0, 0.0, 0.0)
+        tree.insert(m)
+        tree.delete(m)
+        assert len(tree) == 0
+        assert tree.range_query(Rect(0, 0, 100, 100), 0) == []
+
+    def test_delete_unknown_raises(self):
+        with pytest.raises(IndexError_):
+            make_tree().delete(Motion(9, 0, 0, 0, 0, 0))
+
+    def test_delete_all_after_splits(self):
+        tree = make_tree(fanout=4)
+        motions = random_motions(40, seed=3)
+        for m in motions:
+            tree.insert(m)
+        for m in motions:
+            tree.delete(m)
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_interleaved_insert_delete(self):
+        tree = make_tree(fanout=5)
+        motions = random_motions(60, seed=4)
+        live = {}
+        gen = np.random.default_rng(11)
+        for m in motions:
+            tree.insert(m)
+            live[m.oid] = m
+            if gen.random() < 0.4 and live:
+                victim_oid = int(gen.choice(sorted(live)))
+                tree.delete(live.pop(victim_oid))
+        tree.validate()
+        hits = tree.range_query(Rect(-1000, -1000, 1000, 1000), 0)
+        assert sorted(m.oid for m in hits) == sorted(live)
+
+    def test_root_collapse(self):
+        tree = make_tree(fanout=4)
+        motions = random_motions(30, seed=5)
+        for m in motions:
+            tree.insert(m)
+        tall = tree.height
+        for m in motions[:-2]:
+            tree.delete(m)
+        assert tree.height <= tall
+        tree.validate()
+        assert len(tree) == 2
+
+
+class TestRangeQueryAgainstBruteForce:
+    @given(
+        st.integers(1, 60),
+        st.integers(0, 10_000),
+        st.integers(0, 15),
+        st.tuples(
+            st.floats(0, 80), st.floats(0, 80), st.floats(5, 60), st.floats(5, 60)
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bruteforce(self, n, seed, qt, rect_params):
+        x1, y1, w, h = rect_params
+        rect = Rect(x1, y1, x1 + w, y1 + h)
+        motions = random_motions(n, seed=seed)
+        tree = make_tree(fanout=6)
+        for m in motions:
+            tree.insert(m)
+        hits = sorted(m.oid for m in tree.range_query(rect, qt))
+        assert hits == brute_range(motions, rect, qt)
+
+    @given(st.integers(2, 40), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_bruteforce_after_deletes(self, n, seed):
+        motions = random_motions(n, seed=seed)
+        tree = make_tree(fanout=5)
+        for m in motions:
+            tree.insert(m)
+        for m in motions[:: 2]:
+            tree.delete(m)
+        remaining = motions[1::2]
+        rect = Rect(20, 20, 70, 70)
+        for qt in (0, 7):
+            hits = sorted(m.oid for m in tree.range_query(rect, qt))
+            assert hits == brute_range(remaining, rect, qt)
+
+
+class TestValidateInvariants:
+    @given(st.integers(1, 80), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_structure_valid_after_bulk_insert(self, n, seed):
+        tree = make_tree(fanout=5)
+        for m in random_motions(n, seed=seed):
+            tree.insert(m)
+        tree.validate()
+
+    def test_node_count_reasonable(self):
+        tree = make_tree(fanout=8)
+        for m in random_motions(100, seed=9):
+            tree.insert(m)
+        # With fanout 8 and min fill 40%, 100 objects need <= ~60 nodes.
+        assert tree.node_count() <= 60
+
+
+class TestIOAccounting:
+    def test_queries_charge_buffer(self):
+        pool = BufferPool(capacity_pages=2)
+        tree = make_tree(fanout=4, buffer_pool=pool)
+        for m in random_motions(40, seed=2):
+            tree.insert(m)
+        pool.reset_stats()
+        tree.range_query(Rect(0, 0, 100, 100), 0)
+        assert pool.stats.accesses > 0
+
+    def test_charge_io_flag(self):
+        pool = BufferPool(capacity_pages=2)
+        tree = make_tree(fanout=4, buffer_pool=pool)
+        for m in random_motions(20, seed=2):
+            tree.insert(m)
+        pool.reset_stats()
+        tree.range_query(Rect(0, 0, 100, 100), 0, charge_io=False)
+        assert pool.stats.accesses == 0
+
+    def test_updates_not_charged(self):
+        pool = BufferPool(capacity_pages=2)
+        tree = make_tree(fanout=4, buffer_pool=pool)
+        for m in random_motions(40, seed=2):
+            tree.insert(m)
+        # Inserts/splits never touched the pool (Section 4: maintenance I/O
+        # is not counted).
+        assert pool.stats.accesses == 0
+
+    def test_repeated_query_hits_buffer(self):
+        pool = BufferPool(capacity_pages=128)
+        tree = make_tree(fanout=4, buffer_pool=pool)
+        for m in random_motions(60, seed=2):
+            tree.insert(m)
+        tree.range_query(Rect(0, 0, 100, 100), 0)
+        first = pool.reset_stats()
+        tree.range_query(Rect(0, 0, 100, 100), 0)
+        second = pool.stats
+        assert first.misses > 0
+        assert second.misses == 0  # everything resident now
+        assert second.hits == first.accesses
+
+
+class TestSplitHelper:
+    def test_pick_split_sizes(self):
+        motions = random_motions(10, seed=1)
+        a, b = pick_split(motions, min_fill=3, t_from=0, t_to=10)
+        assert len(a) >= 3 and len(b) >= 3
+        assert len(a) + len(b) == 10
+        assert {m.oid for m in a} | {m.oid for m in b} == {m.oid for m in motions}
+
+    def test_pick_split_too_few_raises(self):
+        with pytest.raises(IndexError_):
+            pick_split(random_motions(4), min_fill=3, t_from=0, t_to=10)
+
+    def test_split_separates_clusters(self):
+        left = [Motion(i, 0, float(i), 0.0, 0.0, 0.0) for i in range(5)]
+        right = [Motion(10 + i, 0, 100.0 + i, 0.0, 0.0, 0.0) for i in range(5)]
+        a, b = pick_split(left + right, min_fill=2, t_from=0, t_to=10)
+        groups = {frozenset(m.oid for m in a), frozenset(m.oid for m in b)}
+        assert frozenset(m.oid for m in left) in groups
+        assert frozenset(m.oid for m in right) in groups
+
+    def test_bound_of_entries(self):
+        motions = [Motion(0, 0, 0, 0, 0, 0), Motion(1, 0, 10, 5, 0, 0)]
+        bound = bound_of_entries(motions, t_ref=0)
+        r = bound.rect_at(0)
+        assert (r.x1, r.y1, r.x2, r.y2) == (0, 0, 10, 5)
