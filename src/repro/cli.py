@@ -19,12 +19,32 @@ import sys
 
 from .core.system import PDRServer
 from .core.config import SystemConfig
+from .core.errors import (
+    DatagenError,
+    IndexError_,
+    InvalidParameterError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
 from .datagen.network import synthetic_metro
 from .datagen.trips import TripSimulator
 from .experiments.viz import render_region
 from .storage.snapshot import load_server, save_server
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CODES"]
+
+# Most specific classes first: the first match wins, so a subclass (e.g.
+# HorizonError < QueryError, RecoveryError < StorageError) maps to its
+# family's code.  Exit code 1 is reserved for any other ReproError.
+EXIT_CODES = (
+    (InvalidParameterError, 2),
+    (StorageError, 3),
+    (QueryError, 4),
+    (IndexError_, 5),
+    (DatagenError, 6),
+    (ReproError, 1),
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--l", type=float, default=None, help="neighborhood edge length")
     query.add_argument("--offset", type=int, default=0,
                        help="query timestamp offset from t_now (predictive)")
+    query.add_argument("--deadline", type=float, default=None,
+                       help="time budget in seconds; the server degrades to "
+                            "cheaper methods rather than miss it")
     query.add_argument("--render", action="store_true",
                        help="print an ASCII map of the dense regions")
     query.add_argument("--geojson", action="store_true",
@@ -94,10 +117,17 @@ def _cmd_query(args) -> int:
     server = load_server(args.snapshot)
     qt = server.tnow + args.offset
     result = server.query(
-        args.method, qt=qt, l=args.l, rho=args.rho, varrho=args.varrho
+        args.method, qt=qt, l=args.l, rho=args.rho, varrho=args.varrho,
+        deadline=args.deadline,
     )
+    if result.degraded:
+        print(
+            f"degraded: {args.method} missed the {args.deadline}s budget, "
+            f"answered with {result.stats.method}",
+            file=sys.stderr,
+        )
     print(
-        f"{args.method} @ qt={qt}: {len(result.regions)} dense rectangles, "
+        f"{result.stats.method} @ qt={qt}: {len(result.regions)} dense rectangles, "
         f"area {result.area():,.1f}, cpu {result.stats.cpu_seconds * 1000:.1f} ms, "
         f"io {result.stats.io_count} pages ({result.stats.io_seconds:.2f} s charged)"
     )
@@ -129,16 +159,26 @@ def _cmd_peaks(args) -> int:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "query":
-        return _cmd_query(args)
-    if args.command == "peaks":
-        return _cmd_peaks(args)
-    if args.command == "report":
-        from .experiments.run_all import main as report_main
+    try:
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "peaks":
+            return _cmd_peaks(args)
+        if args.command == "report":
+            from .experiments.run_all import main as report_main
 
-        return report_main()
+            return report_main()
+    except ReproError as exc:
+        for cls, code in EXIT_CODES:
+            if isinstance(exc, cls):
+                print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+                return code
+        raise  # pragma: no cover - EXIT_CODES ends with ReproError itself
+    except OSError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -44,3 +44,50 @@ class StorageError(ReproError):
 
 class DatagenError(ReproError):
     """The workload generator received inconsistent parameters."""
+
+
+class DeadlineExceededError(QueryError):
+    """A query evaluation ran out of its per-query time budget.
+
+    Raised cooperatively by the evaluation methods at their checkpoints
+    (per candidate cell in FR, at entry in PA); the degradation ladder in
+    :mod:`repro.reliability.deadline` catches it and falls back to a
+    cheaper method.
+    """
+
+
+class TransientFaultError(ReproError):
+    """A fault that is expected to clear on retry (e.g. a failed I/O).
+
+    The retry-with-backoff wrapper treats this class — and nothing else —
+    as retryable; anything else propagates immediately.
+    """
+
+
+class TransientIOError(TransientFaultError, StorageError):
+    """A transient failure in the (simulated) storage layer."""
+
+
+class ListenerFanoutError(ReproError):
+    """One or more update listeners failed while processing an update.
+
+    Every listener is still notified before this is raised, so the
+    maintained structures cannot diverge from each other merely because
+    one of them threw.  ``failures`` holds ``(listener, exception)`` pairs.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+class RecoveryError(StorageError):
+    """Checkpoint/replay recovery could not reconstruct a server."""
+
+
+class AuditError(RecoveryError):
+    """The post-recovery structural invariant audit found violations."""
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = list(violations)

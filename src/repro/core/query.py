@@ -140,11 +140,19 @@ class QueryStats:
 
 @dataclass
 class QueryResult:
-    """A PDR answer: the dense regions plus evaluation statistics."""
+    """A PDR answer: the dense regions plus evaluation statistics.
+
+    ``degraded`` is set by the deadline ladder when the answer was
+    produced by a cheaper method than the one requested;
+    ``requested_method`` then names the original request while
+    ``stats.method`` names the method that actually ran.
+    """
 
     regions: RegionSet
     stats: QueryStats
     query: Optional[SnapshotPDRQuery] = None
+    degraded: bool = False
+    requested_method: Optional[str] = None
 
     def area(self) -> float:
         return self.regions.area()

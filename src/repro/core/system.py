@@ -17,12 +17,22 @@ the evaluation method by name:
 ``"edq"``               effective-density-query baseline (ambiguous by design)
 ======================  =======================================================
 
+The server also hosts the reliability layer (:mod:`repro.reliability`):
+
+* every :meth:`report` is validated at this boundary; rejects land in
+  :attr:`dead_letters` instead of corrupting the maintained structures;
+* :meth:`query` accepts a ``deadline`` budget and degrades down the
+  ``fr -> pa -> dh-optimistic`` ladder instead of missing it;
+* with ``reliability.state_dir`` set, accepted updates are write-ahead
+  logged and periodically checkpointed, and :meth:`recover` rebuilds an
+  identical server after a crash.
+
 This is the class the examples and the experiment harness build on.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Set
 
 from ..baselines.bruteforce import bruteforce_from_motions
 from ..baselines.dense_cell import dense_cell_query
@@ -35,10 +45,19 @@ from ..methods.interval import evaluate_interval
 from ..methods.pa import PAMethod
 from ..metrics.cost import UpdateCostTimer
 from ..metrics.instrument import TimedListener
+from ..motion.model import Motion
 from ..motion.table import ObjectTable
+from ..reliability.deadline import evaluate_with_degradation, run_with_retries
+from ..reliability.faults import MonotonicClock
+from ..reliability.validation import (
+    DeadLetterQueue,
+    RejectedReport,
+    ReliabilityConfig,
+    ReportValidator,
+)
 from ..storage.buffer import BufferPool
 from .config import SystemConfig
-from .errors import InvalidParameterError
+from .errors import InvalidParameterError, StorageError
 from .query import (
     IntervalPDRQuery,
     QueryResult,
@@ -67,13 +86,24 @@ class PDRServer:
         config: Optional[SystemConfig] = None,
         expected_objects: int = 100_000,
         tnow: int = 0,
+        reliability: Optional[ReliabilityConfig] = None,
     ) -> None:
         self.config = config or SystemConfig()
         cfg = self.config
+        self.reliability = reliability or ReliabilityConfig()
+        self.expected_objects = expected_objects
+        self.faults = self.reliability.faults
+        # An injector brings its own (virtual) clock, which then also
+        # drives deadlines and retry backoff; without one, real time.
+        self.clock = self.faults.clock if self.faults is not None else MonotonicClock()
+        self.dead_letters = DeadLetterQueue(self.reliability.dead_letter_capacity)
+        self._validator = ReportValidator(self.reliability.policy, cfg.domain)
+        self._tick_oids: Set[int] = set()
         self.table = ObjectTable(tnow=tnow)
         self.buffer = BufferPool(
             capacity_pages=cfg.page_model.buffer_pages(expected_objects),
             random_io_seconds=cfg.page_model.random_io_seconds,
+            faults=self.faults,
         )
         self.tree = TPRTree(
             horizon=cfg.horizon,
@@ -92,13 +122,19 @@ class PDRServer:
             k=cfg.polynomial_degree,
             md=cfg.evaluation_grid,
             tnow=tnow,
+            faults=self.faults,
         )
         self.dh_timer = UpdateCostTimer()
         self.pa_timer = UpdateCostTimer()
         self.table.add_listener(TimedListener(self.histogram, self.dh_timer))
         self.table.add_listener(TimedListener(self.pa, self.pa_timer))
         self.table.add_listener(self.tree)
-        self._fr = FRMethod(self.histogram, self.tree)
+        self._fr = FRMethod(self.histogram, self.tree, faults=self.faults)
+        self._manager = None
+        if self.reliability.state_dir is not None:
+            from ..reliability.recovery import ReliabilityManager
+
+            self._manager = ReliabilityManager.create_fresh(self, self.reliability)
 
     # ------------------------------------------------------------------
     # update side
@@ -107,16 +143,160 @@ class PDRServer:
     def tnow(self) -> int:
         return self.table.tnow
 
-    def report(self, oid: int, x: float, y: float, vx: float, vy: float) -> None:
-        """Process one location report (delete + insert per Section 5.1)."""
-        self.table.report(oid, x, y, vx, vy)
+    def report(
+        self,
+        oid: int,
+        x: float,
+        y: float,
+        vx: float,
+        vy: float,
+        t: Optional[int] = None,
+    ) -> Optional[Motion]:
+        """Process one location report (delete + insert per Section 5.1).
+
+        The report is validated first: a malformed one is quarantined in
+        :attr:`dead_letters` and ``None`` is returned — none of the
+        maintained structures see it.  An accepted report is write-ahead
+        logged (when durability is on) and applied everywhere, returning
+        the registered :class:`Motion`.
+        """
+        verdict = self._validator.validate(
+            oid, x, y, vx, vy, t, self.table.tnow, self._tick_oids
+        )
+        if verdict is not None:
+            reason, detail = verdict
+            self.dead_letters.push(
+                RejectedReport(
+                    oid=oid, x=x, y=y, vx=vx, vy=vy, t=t,
+                    tnow=self.table.tnow, reason=reason, detail=detail,
+                )
+            )
+            return None
+        if self._manager is not None:
+            self._manager.log_report(oid, x, y, vx, vy, self.table.tnow)
+        if self.faults is not None:
+            self.faults.hit("report.apply")
+        return self._apply_report(oid, x, y, vx, vy)
+
+    def _apply_report(
+        self, oid: int, x: float, y: float, vx: float, vy: float
+    ) -> Motion:
+        motion = self.table.report(oid, x, y, vx, vy)
+        self._tick_oids.add(oid)
+        return motion
+
+    def retire(self, oid: int) -> bool:
+        """Remove ``oid`` permanently.  Unknown ids are quarantined, not
+        raised: a double-retire (e.g. a duplicated departure message) must
+        not take the serving path down."""
+        if oid not in self.table:
+            self.dead_letters.push(
+                RejectedReport(
+                    oid=oid, x=float("nan"), y=float("nan"),
+                    vx=float("nan"), vy=float("nan"), t=None,
+                    tnow=self.table.tnow, reason="unknown_oid",
+                    detail=f"cannot retire unknown object {oid!r}",
+                )
+            )
+            return False
+        if self._manager is not None:
+            self._manager.log_retire(oid, self.table.tnow)
+        if self.faults is not None:
+            self.faults.hit("report.apply")
+        self._apply_retire(oid)
+        return True
+
+    def _apply_retire(self, oid: int) -> None:
+        self.table.retire(oid)
+        self._tick_oids.discard(oid)
 
     def advance_to(self, tnow: int) -> None:
         """Move the server clock; retires and creates histogram/PA slots."""
+        if tnow == self.table.tnow:
+            return
+        if tnow < self.table.tnow:
+            raise InvalidParameterError(
+                f"clock cannot move backwards ({self.table.tnow} -> {tnow})"
+            )
+        if self._manager is not None:
+            self._manager.log_advance(tnow)
+        if self.faults is not None:
+            self.faults.hit("advance.apply")
+        self._apply_advance(tnow)
+        if self._manager is not None:
+            self._manager.maybe_checkpoint(self, tnow)
+
+    def _apply_advance(self, tnow: int) -> None:
         self.table.advance_to(tnow)
+        self._tick_oids.clear()
 
     def object_count(self) -> int:
         return len(self.table)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def apply_logged_record(self, record: dict) -> None:
+        """Replay one WAL record (recovery only — bypasses logging)."""
+        op = record["op"]
+        if op == "report":
+            self._apply_report(
+                int(record["oid"]),
+                float(record["x"]),
+                float(record["y"]),
+                float(record["vx"]),
+                float(record["vy"]),
+            )
+        elif op == "retire":
+            self._apply_retire(int(record["oid"]))
+        elif op == "advance":
+            t = int(record["t"])
+            if t > self.table.tnow:
+                self._apply_advance(t)
+        else:
+            raise StorageError(f"unknown update-log op {op!r}")
+
+    def attach_manager(self, manager) -> None:
+        """Re-attach durability after recovery (recovery only)."""
+        self._manager = manager
+
+    @property
+    def wal_lsn(self) -> Optional[int]:
+        """LSN of the last durably logged update (``None``: no durability)."""
+        return self._manager.lsn if self._manager is not None else None
+
+    def checkpoint(self) -> int:
+        """Force a checkpoint now; returns its sequence number."""
+        if self._manager is None:
+            raise StorageError("server has no state_dir; durability is off")
+        return self._manager.checkpoint(self)
+
+    def close(self) -> None:
+        """Release the WAL file handle (safe to call without durability)."""
+        if self._manager is not None:
+            self._manager.close()
+
+    @classmethod
+    def recover(
+        cls,
+        state_dir: str,
+        faults=None,
+        audit: bool = True,
+        expected_objects: Optional[int] = None,
+    ) -> "PDRServer":
+        """Rebuild a server from ``state_dir``: newest loadable checkpoint
+        plus replay of the update log, then a structural audit."""
+        from ..reliability.recovery import recover_server
+
+        return recover_server(
+            state_dir, faults=faults, audit=audit, expected_objects=expected_objects
+        )
+
+    def audit(self, raise_on_violation: bool = True) -> List[str]:
+        """Cross-check table / tree / histogram / PA consistency."""
+        from ..reliability.recovery import audit_server
+
+        return audit_server(self, raise_on_violation=raise_on_violation)
 
     # ------------------------------------------------------------------
     # query side
@@ -149,17 +329,53 @@ class PDRServer:
         l: Optional[float] = None,
         rho: Optional[float] = None,
         varrho: Optional[float] = None,
+        deadline: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> QueryResult:
-        """Evaluate a snapshot PDR query with the named method."""
-        q = self.make_query(qt=qt, l=l, rho=rho, varrho=varrho)
-        return self.evaluate(method, q)
+        """Evaluate a snapshot PDR query with the named method.
 
-    def evaluate(self, method: str, q: SnapshotPDRQuery) -> QueryResult:
-        """Evaluate an already-constructed query."""
+        ``deadline`` (seconds on the server clock) turns on graceful
+        degradation: the requested method runs first and the ladder falls
+        back to cheaper evaluations (``fr -> pa -> dh-optimistic``) so an
+        answer is produced within the budget; the result's
+        ``requested_method`` / ``degraded`` fields say what actually ran.
+        Transient faults are retried with exponential backoff either way
+        (``retries`` overrides the configured count).
+        """
+        q = self.make_query(qt=qt, l=l, rho=rho, varrho=varrho)
+        n_retries = self.reliability.retries if retries is None else retries
+        if deadline is not None:
+            return evaluate_with_degradation(
+                self,
+                method,
+                q,
+                budget_seconds=deadline,
+                retries=n_retries,
+                backoff_seconds=self.reliability.backoff_seconds,
+            )
+        result, _ = run_with_retries(
+            lambda: self.evaluate(method, q),
+            n_retries,
+            self.reliability.backoff_seconds,
+            self.clock,
+        )
+        result.requested_method = method
+        return result
+
+    def evaluate(
+        self, method: str, q: SnapshotPDRQuery, deadline=None
+    ) -> QueryResult:
+        """Evaluate an already-constructed query.
+
+        ``deadline`` is a :class:`~repro.reliability.deadline.Deadline`
+        checked cooperatively by the methods that can run long (FR at each
+        candidate refinement, PA at entry); the histogram bounds and
+        baselines ignore it.
+        """
         if method == "fr":
-            return self._fr.query(q)
+            return self._fr.query(q, deadline=deadline)
         if method == "pa":
-            return self.pa.query(q)
+            return self.pa.query(q, deadline=deadline)
         if method == "dh-optimistic":
             return dh_optimistic(self.histogram, q)
         if method == "dh-pessimistic":
@@ -209,4 +425,12 @@ class PDRServer:
             "density_histogram": self.histogram.memory_bytes(),
             "polynomials": self.pa.memory_bytes(),
             "buffer_pages": self.buffer.capacity,
+        }
+
+    def reliability_report(self) -> dict:
+        """Operator-facing counters for the reliability layer."""
+        return {
+            "dead_letter_total": self.dead_letters.total,
+            "dead_letter_counts": dict(self.dead_letters.counts),
+            "wal_lsn": self.wal_lsn,
         }

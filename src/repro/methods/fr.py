@@ -50,12 +50,14 @@ class FRMethod:
         histogram: DensityHistogram,
         tree: TPRTree,
         batch_candidates: bool = False,
+        faults=None,
     ) -> None:
         if histogram is None or tree is None:
             raise InvalidParameterError("FR needs both a histogram and an index")
         self.histogram = histogram
         self.tree = tree
         self.batch_candidates = batch_candidates
+        self.faults = faults
 
     def _candidate_rects(self, filtered) -> List[Rect]:
         """Candidate regions to refine: single cells, or coalesced strips."""
@@ -70,8 +72,15 @@ class FRMethod:
         )
         return list(cells.normalized())
 
-    def query(self, query: SnapshotPDRQuery) -> QueryResult:
-        """Exact PDR answer; stats include filter counters and charged I/O."""
+    def query(self, query: SnapshotPDRQuery, deadline=None) -> QueryResult:
+        """Exact PDR answer; stats include filter counters and charged I/O.
+
+        ``deadline`` (a :class:`repro.reliability.deadline.Deadline`) is
+        checked cooperatively before each candidate-cell refinement —
+        refinement is where FR's cost lives, one range query per cell —
+        raising :class:`~repro.core.errors.DeadlineExceededError` so the
+        degradation ladder can fall back to a cheaper method.
+        """
         buffer = self.tree.buffer
         io_before = buffer.stats.misses if buffer is not None else 0
         start = time.perf_counter()
@@ -82,6 +91,10 @@ class FRMethod:
         domain = self.histogram.domain
         objects_examined = 0
         for cell in self._candidate_rects(filtered):
+            if self.faults is not None:
+                self.faults.hit("fr.refine")
+            if deadline is not None:
+                deadline.check("fr.refine")
             fetch = cell.expanded(half)
             motions = self.tree.range_query(fetch, query.qt)
             objects_examined += len(motions)

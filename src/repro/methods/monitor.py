@@ -10,6 +10,13 @@ answer plus the appeared/vanished area relative to the previous evaluation.
 Because the PA method keeps per-timestamp coefficients for the whole horizon
 anyway, continuous evaluation costs exactly one B&B pass per tick — there is
 no extra maintained state.
+
+A standing query must outlive individual failures: an evaluation that dies
+(an I/O fault, an exhausted retry budget) is recorded as a ``failed``
+:class:`MonitorEvent` rather than unwinding the server's clock advance, and
+one that fell down the degradation ladder is recorded as ``degraded``.
+Only a simulated process crash (``InjectedCrashError``, a
+``BaseException``) propagates — a dead process monitors nothing.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core.errors import InvalidParameterError
+from ..core.errors import InvalidParameterError, ReproError
 from ..core.query import QueryResult
 from ..core.regions import RegionSet
 from ..motion.updates import UpdateListener
@@ -27,14 +34,21 @@ __all__ = ["MonitorEvent", "PDRMonitor"]
 
 @dataclass
 class MonitorEvent:
-    """One evaluation of the standing query."""
+    """One evaluation of the standing query.
+
+    ``status`` is ``"ok"``, ``"degraded"`` (the deadline ladder answered
+    with a cheaper method) or ``"failed"`` (the evaluation raised;
+    ``error`` holds the message and ``result`` is ``None``).
+    """
 
     tnow: int
     qt: int
     regions: RegionSet
     appeared_area: float  # newly dense area vs the previous event
     vanished_area: float  # area that stopped being dense
-    result: QueryResult
+    result: Optional[QueryResult]
+    status: str = "ok"
+    error: Optional[str] = None
 
     @property
     def changed(self) -> bool:
@@ -48,7 +62,9 @@ class PDRMonitor(UpdateListener):
     advances across an evaluation boundary the monitor evaluates the query
     at ``t_now + offset`` and appends a :class:`MonitorEvent`.  ``varrho``
     re-resolves against the live object count at every tick (a fixed ``rho``
-    may be given instead).
+    may be given instead).  ``deadline`` (seconds per evaluation) turns on
+    the degradation ladder so a slow tick yields an approximate event
+    instead of a late one.
     """
 
     def __init__(
@@ -60,6 +76,7 @@ class PDRMonitor(UpdateListener):
         l: Optional[float] = None,
         rho: Optional[float] = None,
         varrho: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         if every < 1:
             raise InvalidParameterError(f"every must be >= 1, got {every}")
@@ -79,18 +96,41 @@ class PDRMonitor(UpdateListener):
         self.l = l
         self.rho = rho
         self.varrho = varrho
+        self.deadline = deadline
         self.events: List[MonitorEvent] = []
         self._last_eval: Optional[int] = None
         self._previous: RegionSet = RegionSet()
 
     # ------------------------------------------------------------------
     def poll(self) -> MonitorEvent:
-        """Force one evaluation at the current time."""
+        """Force one evaluation at the current time.
+
+        Never raises a :class:`ReproError`: a failed evaluation becomes a
+        ``failed`` event (the previous dense picture is kept as the diff
+        baseline, so the next successful event diffs against the last
+        *known* answer, not against emptiness).
+        """
         tnow = self.server.tnow
         qt = tnow + self.offset
-        result = self.server.query(
-            self.method, qt=qt, l=self.l, rho=self.rho, varrho=self.varrho
-        )
+        self._last_eval = tnow
+        try:
+            result = self.server.query(
+                self.method, qt=qt, l=self.l, rho=self.rho, varrho=self.varrho,
+                deadline=self.deadline,
+            )
+        except ReproError as exc:
+            event = MonitorEvent(
+                tnow=tnow,
+                qt=qt,
+                regions=RegionSet(),
+                appeared_area=0.0,
+                vanished_area=0.0,
+                result=None,
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self.events.append(event)
+            return event
         appeared = result.regions.difference_area(self._previous)
         vanished = self._previous.difference_area(result.regions)
         event = MonitorEvent(
@@ -100,10 +140,10 @@ class PDRMonitor(UpdateListener):
             appeared_area=appeared,
             vanished_area=vanished,
             result=result,
+            status="degraded" if result.degraded else "ok",
         )
         self.events.append(event)
         self._previous = result.regions
-        self._last_eval = tnow
         return event
 
     def on_advance(self, tnow: int) -> None:
@@ -115,5 +155,13 @@ class PDRMonitor(UpdateListener):
         return self.events[-1] if self.events else None
 
     def changed_events(self) -> List[MonitorEvent]:
-        """Only the evaluations where the dense picture actually moved."""
-        return [e for e in self.events if e.changed]
+        """Only the evaluations where the dense picture actually moved.
+
+        Failed evaluations never count as change: an unknown answer is
+        not an empty one.
+        """
+        return [e for e in self.events if e.status != "failed" and e.changed]
+
+    def failed_events(self) -> List[MonitorEvent]:
+        """The evaluations that raised (for alerting/backfill)."""
+        return [e for e in self.events if e.status == "failed"]

@@ -44,11 +44,13 @@ class PAMethod(UpdateListener):
         k: int = 5,
         md: int = 512,
         tnow: int = 0,
+        faults=None,
     ) -> None:
         if l <= 0:
             raise InvalidParameterError(f"l must be positive, got {l}")
         if horizon < 0:
             raise InvalidParameterError(f"horizon must be >= 0, got {horizon}")
+        self.faults = faults
         self.spec = GridSpec(domain, g, k)
         self.l = l
         self.horizon = horizon
@@ -219,13 +221,22 @@ class PAMethod(UpdateListener):
             raise HorizonError(f"ring-buffer slot for {qt} not materialised")
         return ChebSurface(self.spec, self._coeffs[slot])
 
-    def query(self, query: SnapshotPDRQuery) -> QueryResult:
-        """Approximate PDR answer by branch-and-bound (Section 6.3)."""
+    def query(self, query: SnapshotPDRQuery, deadline=None) -> QueryResult:
+        """Approximate PDR answer by branch-and-bound (Section 6.3).
+
+        The deadline is checked once at entry: a single B&B pass is cheap
+        and all-or-nothing, so there is no useful intermediate point at
+        which to abandon it.
+        """
         if abs(query.l - self.l) > 1e-9:
             raise InvalidParameterError(
                 f"PA was built for l={self.l}; query asked l={query.l} "
                 "(the approximate method fixes l, see Section 6)"
             )
+        if self.faults is not None:
+            self.faults.hit("pa.query")
+        if deadline is not None:
+            deadline.check("pa.query")
         start = time.perf_counter()
         surface = self.surface_at(query.qt)
         regions, bnb = surface.dense_regions(query.rho, md=self.md)

@@ -13,7 +13,7 @@ from typing import Dict, Iterator, List, Optional
 
 from ..core.errors import InvalidParameterError, QueryError
 from .model import Motion
-from .updates import DeleteUpdate, InsertUpdate, UpdateListener
+from .updates import DeleteUpdate, InsertUpdate, UpdateListener, dispatch
 
 __all__ = ["ObjectTable"]
 
@@ -48,8 +48,7 @@ class ObjectTable:
         if tnow == self._tnow:
             return
         self._tnow = tnow
-        for listener in self._listeners:
-            listener.on_advance(tnow)
+        dispatch(self._listeners, "on_advance", tnow)
 
     # ------------------------------------------------------------------
     # update protocol
@@ -61,16 +60,31 @@ class ObjectTable:
         motion (a deletion update), then registers the new one (an insertion
         update), exactly as Section 5.1 prescribes.
         """
+        from ..core.errors import ListenerFanoutError
+
         new_motion = Motion(oid, self._tnow, x, y, vx, vy)
         old_motion = self._motions.get(oid)
+        # The delete+insert protocol must run to completion even if a
+        # listener fails half-way: otherwise the table and the structures
+        # that *did* process the delete would disagree about the object.
+        failures = []
         if old_motion is not None:
             delete = DeleteUpdate(self._tnow, old_motion)
-            for listener in self._listeners:
-                listener.on_delete(delete)
+            try:
+                dispatch(self._listeners, "on_delete", delete)
+            except ListenerFanoutError as exc:
+                failures.extend(exc.failures)
         insert = InsertUpdate(self._tnow, new_motion)
         self._motions[oid] = new_motion
-        for listener in self._listeners:
-            listener.on_insert(insert)
+        try:
+            dispatch(self._listeners, "on_insert", insert)
+        except ListenerFanoutError as exc:
+            failures.extend(exc.failures)
+        if failures:
+            raise ListenerFanoutError(
+                f"{len(failures)} listener failure(s) while reporting object {oid}",
+                failures=failures,
+            )
         return new_motion
 
     def retire(self, oid: int) -> None:
@@ -79,8 +93,7 @@ class ObjectTable:
         if motion is None:
             raise QueryError(f"cannot retire unknown object {oid}")
         delete = DeleteUpdate(self._tnow, motion)
-        for listener in self._listeners:
-            listener.on_delete(delete)
+        dispatch(self._listeners, "on_delete", delete)
 
     def restore(self, motions, tnow: int) -> None:
         """Restore a snapshot: set registry and clock WITHOUT notifications.

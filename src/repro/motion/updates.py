@@ -16,11 +16,18 @@ TPR-tree) subscribes to the same stream through :class:`UpdateListener`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Iterable, Union
 
+from ..core.errors import ListenerFanoutError
 from .model import Motion
 
-__all__ = ["InsertUpdate", "DeleteUpdate", "Update", "UpdateListener"]
+__all__ = [
+    "InsertUpdate",
+    "DeleteUpdate",
+    "Update",
+    "UpdateListener",
+    "dispatch",
+]
 
 
 @dataclass(frozen=True)
@@ -57,3 +64,28 @@ class UpdateListener:
 
     def on_advance(self, tnow: int) -> None:  # noqa: B027 - optional hook
         """Called when the server clock moves forward to ``tnow``."""
+
+
+def dispatch(listeners: Iterable[UpdateListener], hook: str, payload) -> None:
+    """Notify every listener, even if some of them fail.
+
+    The maintained structures must never diverge from each other merely
+    because one listener raised: every listener is invoked, failures are
+    collected, and a single :class:`ListenerFanoutError` is raised at the
+    end.  :class:`BaseException` subclasses (simulated crashes, Ctrl-C)
+    propagate immediately — a dead process notifies nobody.
+    """
+    failures = []
+    for listener in listeners:
+        try:
+            getattr(listener, hook)(payload)
+        except Exception as exc:  # noqa: BLE001 - collected and re-raised below
+            failures.append((listener, exc))
+    if failures:
+        names = ", ".join(
+            f"{type(listener).__name__}: {exc}" for listener, exc in failures
+        )
+        raise ListenerFanoutError(
+            f"{len(failures)} listener(s) failed during {hook} ({names})",
+            failures=failures,
+        )

@@ -1,0 +1,52 @@
+"""Fault-tolerant serving: the reliability layer of the PDR server.
+
+This package makes :class:`~repro.core.system.PDRServer` survive hostile
+inputs and partial failures.  Four pillars:
+
+* **Ingestion hardening** (:mod:`.validation`): every report is validated
+  at the ``report()`` boundary and rejects are routed to a bounded
+  dead-letter queue with per-reason counters instead of raising
+  mid-mutation, so the maintained structures can never diverge from each
+  other on bad input.
+* **Query deadlines** (:mod:`.deadline`): a per-query time budget under
+  which evaluation degrades ``fr -> pa -> dh-optimistic`` bounds, with
+  retry-with-backoff for transient faults.
+* **Checkpoint/replay recovery** (:mod:`.recovery`): periodic full
+  checkpoints plus an append-only update log; ``PDRServer.recover()``
+  restores state as checkpoint + log replay and audits the structural
+  invariants afterwards.
+* **Deterministic fault injection** (:mod:`.faults`): named fault sites
+  at which tests inject I/O errors, delays and crash points.
+
+:mod:`.recovery` is deliberately *not* imported here: it depends on
+:mod:`repro.storage.snapshot`, which imports :mod:`repro.core.system` —
+import it lazily (as ``PDRServer.recover`` does) to avoid the cycle.
+"""
+
+from .deadline import DEGRADATION_LADDER, Deadline, evaluate_with_degradation, run_with_retries
+from .faults import FaultInjector, InjectedCrashError, MonotonicClock, VirtualClock
+from .validation import (
+    REJECT_REASONS,
+    DeadLetterQueue,
+    RejectedReport,
+    ReliabilityConfig,
+    ReportPolicy,
+    ReportValidator,
+)
+
+__all__ = [
+    "DEGRADATION_LADDER",
+    "Deadline",
+    "DeadLetterQueue",
+    "evaluate_with_degradation",
+    "FaultInjector",
+    "InjectedCrashError",
+    "MonotonicClock",
+    "REJECT_REASONS",
+    "RejectedReport",
+    "ReliabilityConfig",
+    "ReportPolicy",
+    "ReportValidator",
+    "run_with_retries",
+    "VirtualClock",
+]

@@ -1,0 +1,193 @@
+"""Query deadlines, retry-with-backoff, and the degradation ladder.
+
+A query issued with a time budget must return *something* useful inside
+that budget.  The ladder runs the requested method first and falls back to
+progressively cheaper evaluations::
+
+    fr  ->  pa  ->  dh-optimistic
+
+FR checks the deadline cooperatively at every candidate-cell refinement;
+PA checks at entry (its branch-and-bound pass is cheap and all-or-
+nothing); the histogram bounds are O(m^2) arithmetic and always run.  The
+budget is *sliced* geometrically across the rungs — at each non-terminal
+rung's entry the rung may spend half of the budget still remaining, the
+last rung is unbounded — so that when FR blows its slice there is still
+budget left for PA to produce an approximate answer *within* the overall
+deadline, rather than falling straight to the loosest bound.
+
+Transient faults (:class:`~repro.core.errors.TransientFaultError`) are
+retried with exponential backoff inside a rung; once retries are
+exhausted the ladder degrades to the next rung instead of failing the
+query.  The returned :class:`~repro.core.query.QueryResult` carries
+``degraded`` / ``requested_method`` so callers can tell exactly what they
+got.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+from ..core.errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    QueryError,
+    TransientFaultError,
+)
+from ..core.query import QueryResult, SnapshotPDRQuery
+from .faults import Clock
+
+__all__ = [
+    "Deadline",
+    "run_with_retries",
+    "DEGRADATION_LADDER",
+    "ladder_for",
+    "evaluate_with_degradation",
+]
+
+DEGRADATION_LADDER = ("fr", "pa", "dh-optimistic")
+
+T = TypeVar("T")
+
+
+class Deadline:
+    """An absolute expiry on a clock, checked cooperatively."""
+
+    def __init__(self, seconds: float, clock: Clock) -> None:
+        if seconds <= 0:
+            raise InvalidParameterError(f"deadline must be positive, got {seconds}")
+        self.clock = clock
+        self.started = clock.now()
+        self.expires_at = self.started + seconds
+
+    def remaining(self) -> float:
+        return self.expires_at - self.clock.now()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, site: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            where = f" at {site}" if site else ""
+            raise DeadlineExceededError(
+                f"query budget exhausted{where} "
+                f"({self.clock.now() - self.started:.3f}s elapsed)"
+            )
+
+    def sliced(self, seconds_from_start: float) -> "Deadline":
+        """A sub-deadline expiring earlier, sharing this deadline's clock."""
+        sub = Deadline.__new__(Deadline)
+        sub.clock = self.clock
+        sub.started = self.started
+        sub.expires_at = min(self.expires_at, self.started + seconds_from_start)
+        return sub
+
+
+def run_with_retries(
+    fn: Callable[[], T],
+    retries: int,
+    backoff_seconds: float,
+    clock: Clock,
+    deadline: Optional[Deadline] = None,
+) -> Tuple[T, int]:
+    """Run ``fn``, retrying transient faults with exponential backoff.
+
+    Returns ``(result, attempts_used_beyond_the_first)``.  Only
+    :class:`TransientFaultError` is retried; a deadline (when given) is
+    checked before each attempt so retries cannot outlive the budget.
+    """
+    attempt = 0
+    while True:
+        if deadline is not None:
+            deadline.check("retry")
+        try:
+            return fn(), attempt
+        except TransientFaultError:
+            if attempt >= retries:
+                raise
+            clock.sleep(backoff_seconds * (2 ** attempt))
+            attempt += 1
+
+
+def ladder_for(method: str, query: SnapshotPDRQuery, pa_l: float) -> List[str]:
+    """The fallback rungs for ``method``, cheapest last.
+
+    The PA rung is dropped when the query's ``l`` differs from the edge
+    the polynomial surfaces were built for (PA fixes ``l`` at
+    construction, Section 6).  ``dh-pessimistic`` is already a terminal
+    bound; every other method degrades to the optimistic histogram bound,
+    which is a superset of the true answer — under pressure the server
+    over-reports dense area rather than silently dropping regions.
+    """
+    if method in DEGRADATION_LADDER:
+        rungs = list(DEGRADATION_LADDER[DEGRADATION_LADDER.index(method):])
+    elif method == "dh-pessimistic":
+        rungs = [method]
+    else:
+        rungs = [method, "dh-optimistic"]
+    if abs(query.l - pa_l) > 1e-9:
+        rungs = [r for r in rungs if r != "pa"]
+    return rungs
+
+
+def evaluate_with_degradation(
+    server,
+    method: str,
+    query: SnapshotPDRQuery,
+    budget_seconds: float,
+    retries: int,
+    backoff_seconds: float,
+) -> QueryResult:
+    """Evaluate ``query`` under a time budget, degrading down the ladder."""
+    clock = server.clock
+    deadline = Deadline(budget_seconds, clock)
+    rungs = ladder_for(method, query, server.pa.l)
+    fallbacks = 0
+    total_retries = 0
+    for i, rung in enumerate(rungs):
+        last = i == len(rungs) - 1
+        if last:
+            rung_deadline = None  # the terminal bound always produces an answer
+        else:
+            # Geometric slicing against the budget *remaining at rung
+            # entry*: this rung may spend half of it, so even when a rung
+            # overshoots its slice (deadlines are cooperative — an
+            # expensive step finishes before the check catches it) the
+            # rungs below still receive half of whatever is left.
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                fallbacks += 1
+                continue
+            rung_deadline = deadline.sliced(
+                (clock.now() - deadline.started) + remaining / 2.0
+            )
+        try:
+            result, attempts = run_with_retries(
+                lambda r=rung, d=rung_deadline: server.evaluate(r, query, deadline=d),
+                retries,
+                backoff_seconds,
+                clock,
+                deadline=rung_deadline,
+            )
+            total_retries += attempts
+        except DeadlineExceededError:
+            fallbacks += 1
+            continue
+        except TransientFaultError:
+            if last:
+                raise
+            fallbacks += 1
+            continue
+        result.requested_method = method
+        result.degraded = rung != method
+        result.stats.extra["deadline_seconds"] = float(budget_seconds)
+        result.stats.extra["deadline_spent"] = clock.now() - deadline.started
+        if fallbacks:
+            result.stats.extra["ladder_fallbacks"] = float(fallbacks)
+        if total_retries:
+            result.stats.extra["retries"] = float(total_retries)
+        return result
+    raise QueryError(
+        f"degradation ladder exhausted for method {method!r}"
+    )  # pragma: no cover - the terminal rung returns or raises transient

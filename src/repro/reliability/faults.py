@@ -1,0 +1,183 @@
+"""Deterministic fault injection at named sites.
+
+Production components call :meth:`FaultInjector.hit` at their fault sites
+("buffer.io", "fr.refine", "wal.append", ...).  With no rules armed a hit
+is a counter increment and nothing else, so the instrumentation is safe to
+leave in the serving path.  Tests arm rules that raise transient errors,
+inject delays, or simulate a process crash at the *n*-th hit of a site —
+all keyed off deterministic hit counts, never wall-clock or randomness.
+
+Time is abstracted behind a tiny clock interface so that delay injection
+and query deadlines compose deterministically: a :class:`VirtualClock`
+only advances when something sleeps on it, which makes deadline tests
+exact instead of racy.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import InvalidParameterError, TransientIOError
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "InjectedCrashError",
+    "FaultInjector",
+]
+
+
+class InjectedCrashError(BaseException):
+    """Simulated process death at a fault site.
+
+    Deliberately derives from :class:`BaseException` (like
+    ``KeyboardInterrupt``): no amount of ``except Exception`` or
+    ``except ReproError`` in the serving path may "survive" a crash —
+    the only legitimate response is to restart and recover.
+    """
+
+
+class Clock:
+    """Minimal clock interface: ``now()`` seconds and ``sleep(seconds)``."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Real time: ``time.monotonic`` / ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A clock that advances only when slept on — deterministic tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise InvalidParameterError(f"cannot sleep {seconds} seconds")
+        self._now += seconds
+
+
+@dataclass
+class _FaultRule:
+    """One armed behavior at a site, triggered by hit count."""
+
+    kind: str  # "error" | "delay" | "crash"
+    after: int  # skip this many hits before first trigger
+    times: Optional[int]  # trigger at most this many times (None = forever)
+    delay_seconds: float = 0.0
+    exc_factory: Optional[Callable[[], BaseException]] = None
+    fired: int = 0
+
+    def should_fire(self, hit_index: int) -> bool:
+        if hit_index <= self.after:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Registry of fault rules plus per-site hit counters.
+
+    ``clock`` defaults to a :class:`VirtualClock` so injected delays are
+    deterministic; a server built *without* an injector uses real time.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock: Clock = clock if clock is not None else VirtualClock()
+        self._rules: Dict[str, List[_FaultRule]] = {}
+        self._hits: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def inject_error(
+        self,
+        site: str,
+        exc_factory: Optional[Callable[[], BaseException]] = None,
+        times: Optional[int] = 1,
+        after: int = 0,
+    ) -> None:
+        """Raise at ``site`` (default: a :class:`TransientIOError`)."""
+        factory = exc_factory or (lambda: TransientIOError(f"injected I/O fault at {site!r}"))
+        self._rules.setdefault(site, []).append(
+            _FaultRule(kind="error", after=after, times=times, exc_factory=factory)
+        )
+
+    def inject_delay(
+        self,
+        site: str,
+        seconds: float,
+        times: Optional[int] = None,
+        after: int = 0,
+    ) -> None:
+        """Sleep ``seconds`` on the injector clock at each triggering hit."""
+        if seconds < 0:
+            raise InvalidParameterError(f"delay must be >= 0, got {seconds}")
+        self._rules.setdefault(site, []).append(
+            _FaultRule(kind="delay", after=after, times=times, delay_seconds=seconds)
+        )
+
+    def inject_crash(self, site: str, after: int = 0, times: Optional[int] = 1) -> None:
+        """Simulate process death at the ``after + 1``-th hit of ``site``."""
+        self._rules.setdefault(site, []).append(
+            _FaultRule(kind="crash", after=after, times=times)
+        )
+
+    def clear(self, site: Optional[str] = None) -> None:
+        """Disarm rules (for one site, or all); hit counters are kept."""
+        if site is None:
+            self._rules.clear()
+        else:
+            self._rules.pop(site, None)
+
+    # ------------------------------------------------------------------
+    # the instrumented side
+    # ------------------------------------------------------------------
+    def hit(self, site: str) -> None:
+        """Record a pass through ``site`` and trigger any armed rules.
+
+        Delays fire before errors/crashes so a single site can model a
+        slow-then-failing device.
+        """
+        self._hits[site] += 1
+        index = self._hits[site]
+        rules = self._rules.get(site)
+        if not rules:
+            return
+        raiser: Optional[_FaultRule] = None
+        for rule in rules:
+            if not rule.should_fire(index):
+                continue
+            rule.fired += 1
+            if rule.kind == "delay":
+                self.clock.sleep(rule.delay_seconds)
+            elif raiser is None:
+                raiser = rule
+        if raiser is not None:
+            if raiser.kind == "crash":
+                raise InjectedCrashError(f"injected crash at {site!r} (hit {index})")
+            raise raiser.exc_factory()
+
+    def hits(self, site: str) -> int:
+        return self._hits[site]

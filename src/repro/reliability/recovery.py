@@ -1,0 +1,458 @@
+"""Checkpoint/replay recovery: the durability layer of the PDR server.
+
+State directory layout::
+
+    server-config.json     system + reliability configuration (written once)
+    wal-<seq>.jsonl        append-only update log segments (one per epoch)
+    ckpt-<seq>.npz         full state checkpoint (atomic snapshot write)
+    ckpt-<seq>.json        checkpoint sidecar {seq, lsn, tnow}; its presence
+                           marks the .npz as complete
+    MANIFEST.json          {"seq": n} — the newest durable checkpoint
+
+Every accepted update (report / retire / advance) is appended to the
+current WAL segment *before* it is applied (write-ahead), tagged with a
+monotonically increasing LSN.  A checkpoint captures the full maintained
+state plus the LSN of the last applied record, then rotates the log to a
+fresh segment.  Recovery = newest loadable checkpoint + replay of every
+logged record with a higher LSN, which reproduces the exact float state
+of an uncrashed run (replay re-executes the same numpy operations in the
+same order on bit-identical starting arrays).
+
+Crash safety at every step:
+
+* a crash before the WAL append loses only the in-flight record — the
+  caller never saw it acknowledged;
+* a crash after the append but before the apply is healed by replay;
+* a crash during a checkpoint leaves the manifest pointing at the
+  previous checkpoint, whose WAL segments are still intact;
+* a torn final WAL line (torn write) is detected and truncated on
+  recovery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.errors import RecoveryError, StorageError, AuditError, IndexError_
+from .faults import FaultInjector
+from .validation import ReliabilityConfig, ReportPolicy
+
+__all__ = [
+    "UpdateLog",
+    "ReliabilityManager",
+    "recover_server",
+    "audit_server",
+]
+
+_WAL_RE = re.compile(r"^wal-(\d{8})\.jsonl$")
+_CKPT_RE = re.compile(r"^ckpt-(\d{8})\.json$")
+
+
+def _wal_path(state_dir: str, seq: int) -> str:
+    return os.path.join(state_dir, f"wal-{seq:08d}.jsonl")
+
+
+def _ckpt_npz_path(state_dir: str, seq: int) -> str:
+    return os.path.join(state_dir, f"ckpt-{seq:08d}.npz")
+
+
+def _ckpt_sidecar_path(state_dir: str, seq: int) -> str:
+    return os.path.join(state_dir, f"ckpt-{seq:08d}.json")
+
+
+def _manifest_path(state_dir: str) -> str:
+    return os.path.join(state_dir, "MANIFEST.json")
+
+
+def _server_config_path(state_dir: str) -> str:
+    return os.path.join(state_dir, "server-config.json")
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _list_seqs(state_dir: str, pattern: re.Pattern) -> List[int]:
+    seqs = []
+    for name in os.listdir(state_dir):
+        match = pattern.match(name)
+        if match:
+            seqs.append(int(match.group(1)))
+    return sorted(seqs)
+
+
+class UpdateLog:
+    """One append-only JSONL WAL segment with torn-tail repair."""
+
+    def __init__(self, path: str, fsync: bool = True) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    @staticmethod
+    def read_records(path: str, repair: bool = False) -> List[dict]:
+        """Parse a segment; a torn final line is dropped (and, with
+        ``repair``, truncated from the file so later appends stay valid).
+        A torn line anywhere *else* means real corruption and raises."""
+        records: List[dict] = []
+        good_bytes = 0
+        torn = False
+        with open(path, "rb") as fh:
+            data = fh.read()
+        for line in data.splitlines(keepends=True):
+            if torn:
+                raise RecoveryError(
+                    f"corrupt update log {path!r}: malformed record "
+                    f"before end of file"
+                )
+            try:
+                text = line.decode("utf-8")
+                if not text.endswith("\n"):
+                    raise ValueError("unterminated line")
+                records.append(json.loads(text))
+                good_bytes += len(line)
+            except (UnicodeDecodeError, ValueError):
+                torn = True  # tolerated only as the very last line
+        if torn and repair:
+            with open(path, "rb+") as fh:
+                fh.truncate(good_bytes)
+        return records
+
+
+class ReliabilityManager:
+    """Owns the WAL and the checkpoint cycle for one server.
+
+    Fault sites: ``wal.append`` fires before each record is written,
+    ``checkpoint.write`` before the snapshot file is written and
+    ``checkpoint.manifest`` before the manifest flip — the three distinct
+    failure windows of the durability protocol.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        config: ReliabilityConfig,
+        seq: int,
+        lsn: int,
+        last_checkpoint_tick: Optional[int] = None,
+    ) -> None:
+        self.state_dir = state_dir
+        self.config = config
+        self.faults: Optional[FaultInjector] = config.faults
+        self.seq = seq
+        self.lsn = lsn
+        self.last_checkpoint_tick = last_checkpoint_tick
+        self._wal = UpdateLog(_wal_path(state_dir, seq), fsync=config.fsync)
+
+    # ------------------------------------------------------------------
+    # construction paths
+    # ------------------------------------------------------------------
+    @classmethod
+    def create_fresh(cls, server, config: ReliabilityConfig) -> "ReliabilityManager":
+        """Start durability for a brand-new server in an empty directory."""
+        state_dir = config.state_dir
+        os.makedirs(state_dir, exist_ok=True)
+        if os.path.exists(_manifest_path(state_dir)) or _list_seqs(state_dir, _WAL_RE):
+            raise StorageError(
+                f"state directory {state_dir!r} already holds server state; "
+                "use PDRServer.recover() instead of constructing over it"
+            )
+        from ..storage.snapshot import config_to_dict
+
+        _atomic_write_json(
+            _server_config_path(state_dir),
+            {
+                "config": config_to_dict(server.config),
+                "expected_objects": server.expected_objects,
+                "tnow0": server.tnow,
+                "reliability": {
+                    "policy": dataclasses.asdict(config.policy),
+                    "dead_letter_capacity": config.dead_letter_capacity,
+                    "retries": config.retries,
+                    "backoff_seconds": config.backoff_seconds,
+                    "checkpoint_interval": config.checkpoint_interval,
+                    "keep_checkpoints": config.keep_checkpoints,
+                    "fsync": config.fsync,
+                },
+            },
+        )
+        return cls(state_dir, config, seq=0, lsn=0)
+
+    @classmethod
+    def resume(
+        cls, state_dir: str, config: ReliabilityConfig, lsn: int
+    ) -> "ReliabilityManager":
+        """Re-attach to an existing directory after recovery (torn WAL
+        tails must already have been repaired by the replay scan)."""
+        wal_seqs = _list_seqs(state_dir, _WAL_RE)
+        seq = wal_seqs[-1] if wal_seqs else 0
+        return cls(state_dir, config, seq=seq, lsn=lsn)
+
+    # ------------------------------------------------------------------
+    # write-ahead logging
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self.faults is not None:
+            self.faults.hit("wal.append")
+        record["lsn"] = self.lsn + 1
+        self._wal.append(record)
+        self.lsn += 1
+
+    def log_report(self, oid: int, x: float, y: float, vx: float, vy: float, tnow: int) -> None:
+        self._append({"op": "report", "t": tnow, "oid": oid, "x": x, "y": y, "vx": vx, "vy": vy})
+
+    def log_retire(self, oid: int, tnow: int) -> None:
+        self._append({"op": "retire", "t": tnow, "oid": oid})
+
+    def log_advance(self, tnow: int) -> None:
+        self._append({"op": "advance", "t": tnow})
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self, server, tick: int) -> bool:
+        interval = self.config.checkpoint_interval
+        if interval <= 0:
+            return False
+        if tick % interval != 0 or tick == self.last_checkpoint_tick:
+            return False
+        self.checkpoint(server)
+        return True
+
+    def checkpoint(self, server) -> int:
+        """Write a full checkpoint, flip the manifest, rotate the WAL."""
+        from ..storage.snapshot import save_server
+
+        if self.faults is not None:
+            self.faults.hit("checkpoint.write")
+        new_seq = self.seq + 1
+        save_server(server, _ckpt_npz_path(self.state_dir, new_seq), atomic=True)
+        _atomic_write_json(
+            _ckpt_sidecar_path(self.state_dir, new_seq),
+            {"seq": new_seq, "lsn": self.lsn, "tnow": server.tnow},
+        )
+        if self.faults is not None:
+            self.faults.hit("checkpoint.manifest")
+        _atomic_write_json(_manifest_path(self.state_dir), {"seq": new_seq})
+        self._wal.close()
+        self.seq = new_seq
+        self._wal = UpdateLog(_wal_path(self.state_dir, new_seq), fsync=self.config.fsync)
+        self.last_checkpoint_tick = server.tnow
+        self._prune()
+        return new_seq
+
+    def _prune(self) -> None:
+        """Drop checkpoints beyond ``keep_checkpoints`` and WAL segments
+        older than the oldest kept checkpoint (still replayable from it)."""
+        keep = max(1, self.config.keep_checkpoints)
+        ckpt_seqs = _list_seqs(self.state_dir, _CKPT_RE)
+        kept = ckpt_seqs[-keep:]
+        for seq in ckpt_seqs[:-keep]:
+            for path in (
+                _ckpt_npz_path(self.state_dir, seq),
+                _ckpt_sidecar_path(self.state_dir, seq),
+            ):
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - best-effort
+                    pass
+        if kept:
+            for seq in _list_seqs(self.state_dir, _WAL_RE):
+                if seq < kept[0]:
+                    try:
+                        os.unlink(_wal_path(self.state_dir, seq))
+                    except OSError:  # pragma: no cover - best-effort
+                        pass
+
+    def close(self) -> None:
+        self._wal.close()
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+def _iter_wal_records(state_dir: str, from_seq: int) -> Iterator[Tuple[int, dict]]:
+    """All WAL records in LSN order from segment ``from_seq`` on; the
+    final segment's torn tail (if any) is repaired in place."""
+    seqs = [s for s in _list_seqs(state_dir, _WAL_RE) if s >= from_seq]
+    for i, seq in enumerate(seqs):
+        last_segment = i == len(seqs) - 1
+        for record in UpdateLog.read_records(_wal_path(state_dir, seq), repair=last_segment):
+            yield seq, record
+
+
+def _load_best_checkpoint(state_dir: str):
+    """The newest loadable checkpoint at or below the manifest seq, or
+    ``None``.  Returns ``(SnapshotState, sidecar_dict)``."""
+    from ..storage.snapshot import read_snapshot
+
+    manifest_path = _manifest_path(state_dir)
+    if not os.path.exists(manifest_path):
+        return None
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest_seq = int(json.load(fh)["seq"])
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise RecoveryError(f"corrupt manifest in {state_dir!r}: {exc}") from exc
+    candidates = [s for s in _list_seqs(state_dir, _CKPT_RE) if s <= manifest_seq]
+    for seq in reversed(candidates):
+        try:
+            with open(_ckpt_sidecar_path(state_dir, seq), "r", encoding="utf-8") as fh:
+                sidecar = json.load(fh)
+            state = read_snapshot(_ckpt_npz_path(state_dir, seq))
+            return state, sidecar
+        except (StorageError, OSError, ValueError, KeyError, json.JSONDecodeError):
+            continue  # fall back to the previous checkpoint
+    return None
+
+
+def recover_server(
+    state_dir: str,
+    faults: Optional[FaultInjector] = None,
+    audit: bool = True,
+    expected_objects: Optional[int] = None,
+):
+    """Reconstruct a :class:`PDRServer` as checkpoint + WAL replay.
+
+    The returned server has durability re-attached (subsequent updates
+    append to the same WAL) and, with ``audit`` (the default), has passed
+    the structural invariant audit.
+    """
+    from ..core.system import PDRServer
+
+    config_path = _server_config_path(state_dir)
+    if not os.path.exists(config_path):
+        raise RecoveryError(f"{state_dir!r} holds no server state (no server-config.json)")
+    try:
+        with open(config_path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+        from ..storage.snapshot import config_from_dict
+
+        system_config = config_from_dict(meta["config"])
+        rel_meta = meta["reliability"]
+        rc = ReliabilityConfig(
+            policy=ReportPolicy(**rel_meta["policy"]),
+            dead_letter_capacity=int(rel_meta["dead_letter_capacity"]),
+            retries=int(rel_meta["retries"]),
+            backoff_seconds=float(rel_meta["backoff_seconds"]),
+            state_dir=state_dir,
+            checkpoint_interval=int(rel_meta["checkpoint_interval"]),
+            keep_checkpoints=int(rel_meta["keep_checkpoints"]),
+            fsync=bool(rel_meta["fsync"]),
+            faults=faults,
+        )
+    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+        raise RecoveryError(f"corrupt server-config.json in {state_dir!r}: {exc}") from exc
+
+    loaded = _load_best_checkpoint(state_dir)
+    if loaded is not None:
+        state, sidecar = loaded
+        base_lsn = int(sidecar["lsn"])
+        from_seq = int(sidecar["seq"])
+        tnow = state.tnow
+    else:
+        state = None
+        base_lsn = 0
+        from_seq = 0
+        tnow = int(meta.get("tnow0", 0))
+
+    # Construct without a live manager (replay must not re-log), restore,
+    # then replay the tail of the log.
+    server = PDRServer(
+        system_config,
+        expected_objects=expected_objects or int(meta.get("expected_objects", 1) or 1),
+        tnow=tnow,
+        reliability=dataclasses.replace(rc, state_dir=None, faults=faults),
+    )
+    if state is not None:
+        from ..storage.snapshot import restore_server_state
+
+        restore_server_state(server, state)
+
+    last_lsn = base_lsn
+    for _seq, record in _iter_wal_records(state_dir, from_seq):
+        lsn = int(record["lsn"])
+        if lsn <= base_lsn:
+            continue
+        if lsn != last_lsn + 1:
+            raise RecoveryError(
+                f"update log gap: expected lsn {last_lsn + 1}, found {lsn}"
+            )
+        server.apply_logged_record(record)
+        last_lsn = lsn
+
+    manager = ReliabilityManager.resume(state_dir, rc, lsn=last_lsn)
+    server.attach_manager(manager)
+    if audit:
+        audit_server(server)
+    return server
+
+
+# ----------------------------------------------------------------------
+# structural invariant audit
+# ----------------------------------------------------------------------
+def audit_server(server, raise_on_violation: bool = True) -> List[str]:
+    """Cross-check every maintained structure against the object table.
+
+    Checks: TPR-tree structural validity (bounding-rectangle containment
+    over the whole subtree, fanout, leaf-map), tree/table cardinality,
+    clock alignment of every ring buffer, and histogram totals vs. the
+    in-domain in-window object count at every timestamp of the window.
+    """
+    violations: List[str] = []
+    try:
+        server.tree.validate()
+    except IndexError_ as exc:
+        violations.append(f"tpr-tree: {exc}")
+    if len(server.tree) != len(server.table):
+        violations.append(
+            f"tree holds {len(server.tree)} objects, table holds {len(server.table)}"
+        )
+    tnow = server.table.tnow
+    if server.histogram.tnow != tnow:
+        violations.append(
+            f"histogram clock {server.histogram.tnow} != table clock {tnow}"
+        )
+    if server.pa.tnow != tnow:
+        violations.append(f"PA clock {server.pa.tnow} != table clock {tnow}")
+    horizon = server.config.horizon
+    domain = server.config.domain
+    for qt in range(tnow, tnow + horizon + 1):
+        expected = 0
+        for motion in server.table.motions():
+            if not (motion.t_ref <= qt <= motion.t_ref + horizon):
+                continue
+            x, y = motion.position_at(qt)
+            if domain.contains_point(x, y):
+                expected += 1
+        observed = server.histogram.total_at(qt)
+        if observed != expected:
+            violations.append(
+                f"histogram total {observed} at t={qt} != {expected} live in-domain objects"
+            )
+    if violations and raise_on_violation:
+        raise AuditError(
+            f"recovery audit found {len(violations)} violation(s): "
+            + "; ".join(violations),
+            violations=violations,
+        )
+    return violations

@@ -36,7 +36,12 @@ class IOStats:
 class BufferPool:
     """A capacity-bounded LRU set of resident page ids."""
 
-    def __init__(self, capacity_pages: int, random_io_seconds: float = 0.010) -> None:
+    def __init__(
+        self,
+        capacity_pages: int,
+        random_io_seconds: float = 0.010,
+        faults=None,
+    ) -> None:
         if capacity_pages < 1:
             raise InvalidParameterError(f"buffer capacity must be >= 1, got {capacity_pages}")
         if random_io_seconds < 0:
@@ -44,6 +49,7 @@ class BufferPool:
         self._capacity = capacity_pages
         self._io_seconds_per_miss = random_io_seconds
         self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self._faults = faults
         self.stats = IOStats()
 
     @property
@@ -63,11 +69,18 @@ class BufferPool:
             self._resident.popitem(last=False)
 
     def access(self, page_id: int) -> bool:
-        """Touch ``page_id``; returns True on a hit, False on a miss."""
+        """Touch ``page_id``; returns True on a hit, False on a miss.
+
+        A miss goes to the (simulated) device and is therefore a fault
+        site: an injected error raises *before* the page is counted or
+        made resident, exactly like a failed read.
+        """
         if page_id in self._resident:
             self._resident.move_to_end(page_id)
             self.stats.hits += 1
             return True
+        if self._faults is not None:
+            self._faults.hit("buffer.io")
         self.stats.misses += 1
         self._resident[page_id] = None
         if len(self._resident) > self._capacity:

@@ -9,12 +9,24 @@ reconstructs an equivalent :class:`~repro.core.system.PDRServer`: the
 TPR-tree is rebuilt by re-inserting the live motions (cheap, and the tree's
 exact page layout is not semantically meaningful), while histogram and
 polynomial state is restored bit-for-bit.
+
+Snapshots double as the *checkpoints* of the recovery subsystem
+(:mod:`repro.reliability.recovery`), which imposes two extra duties met
+here: writes are **atomic** (data goes to a temporary file that is
+``fsync``-ed and then renamed over the target, so a crash mid-write can
+never leave a half-written file under the final name) and reads are
+**total** (any way a corrupt, truncated or missing file can fail surfaces
+as :class:`~repro.core.errors.StorageError`, so recovery can fall back to
+an older checkpoint instead of dying on an exception zoo).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Union
+import os
+import zipfile
+from dataclasses import dataclass
+from typing import List, Union
 
 import numpy as np
 
@@ -24,12 +36,21 @@ from ..core.geometry import Rect
 from ..core.system import PDRServer
 from ..motion.model import Motion
 
-__all__ = ["save_server", "load_server"]
+__all__ = [
+    "save_server",
+    "load_server",
+    "read_snapshot",
+    "restore_server_state",
+    "SnapshotState",
+    "config_to_dict",
+    "config_from_dict",
+]
 
 _FORMAT_VERSION = 1
 
 
-def _config_to_dict(config: SystemConfig) -> dict:
+def config_to_dict(config: SystemConfig) -> dict:
+    """A JSON-serialisable form of a :class:`SystemConfig`."""
     return {
         "domain": list(config.domain.as_tuple()),
         "max_update_interval": config.max_update_interval,
@@ -42,7 +63,8 @@ def _config_to_dict(config: SystemConfig) -> dict:
     }
 
 
-def _config_from_dict(data: dict) -> SystemConfig:
+def config_from_dict(data: dict) -> SystemConfig:
+    """Inverse of :func:`config_to_dict`."""
     x1, y1, x2, y2 = data["domain"]
     return SystemConfig(
         domain=Rect(x1, y1, x2, y2),
@@ -56,18 +78,39 @@ def _config_from_dict(data: dict) -> SystemConfig:
     )
 
 
-def save_server(server: PDRServer, path: Union[str, "object"]) -> None:
-    """Serialise the server's full maintained state to ``path`` (.npz)."""
+# Backwards-compatible private aliases (pre-reliability callers).
+_config_to_dict = config_to_dict
+_config_from_dict = config_from_dict
+
+
+@dataclass
+class SnapshotState:
+    """The deserialised content of one snapshot file."""
+
+    config: SystemConfig
+    tnow: int
+    motions: List[Motion]
+    hist_state: dict
+    pa_state: dict
+
+
+def save_server(server: PDRServer, path: Union[str, "object"], atomic: bool = True) -> None:
+    """Serialise the server's full maintained state to ``path`` (.npz).
+
+    With ``atomic`` (the default) the data is written to ``<path>.tmp``,
+    flushed and fsync-ed, and renamed over ``path`` — a crash at any
+    point leaves either the old complete file or no file, never a
+    truncated one.
+    """
     motions = list(server.table.motions())
     motion_array = np.array(
         [(m.oid, m.t_ref, m.x, m.y, m.vx, m.vy) for m in motions], dtype=float
     ).reshape(len(motions), 6)
     hist_state = server.histogram.state_arrays()
     pa_state = server.pa.state_arrays()
-    np.savez_compressed(
-        path,
+    payload = dict(
         format_version=np.int64(_FORMAT_VERSION),
-        config_json=np.bytes_(json.dumps(_config_to_dict(server.config)).encode()),
+        config_json=np.bytes_(json.dumps(config_to_dict(server.config)).encode()),
         tnow=np.int64(server.tnow),
         motions=motion_array,
         hist_counts=hist_state["counts"],
@@ -75,6 +118,78 @@ def save_server(server: PDRServer, path: Union[str, "object"]) -> None:
         pa_coeffs=pa_state["coeffs"],
         pa_slot_time=pa_state["slot_time"],
     )
+    if not atomic or not isinstance(path, (str, os.PathLike)):
+        np.savez_compressed(path, **payload)
+        return
+    target = os.fspath(path)
+    tmp = target + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):  # a failure above left the temp behind
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
+def read_snapshot(path: Union[str, "object"]) -> SnapshotState:
+    """Deserialise a snapshot without constructing a server.
+
+    Every failure mode — missing file, truncated archive, wrong version,
+    missing keys, malformed config — raises :class:`StorageError`, which
+    is what lets recovery treat "this checkpoint is unusable" as one
+    condition and fall back to an older one.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise StorageError(
+                    f"snapshot format {version} not supported (expected {_FORMAT_VERSION})"
+                )
+            config = config_from_dict(json.loads(bytes(data["config_json"]).decode()))
+            tnow = int(data["tnow"])
+            motions = [
+                Motion(int(row[0]), int(row[1]), row[2], row[3], row[4], row[5])
+                for row in data["motions"]
+            ]
+            hist_state = {
+                "counts": data["hist_counts"],
+                "slot_time": data["hist_slot_time"],
+                "tnow": tnow,
+            }
+            pa_state = {
+                "coeffs": data["pa_coeffs"],
+                "slot_time": data["pa_slot_time"],
+                "tnow": tnow,
+            }
+            return SnapshotState(
+                config=config,
+                tnow=tnow,
+                motions=motions,
+                hist_state=hist_state,
+                pa_state=pa_state,
+            )
+    except StorageError:
+        raise
+    except (OSError, zipfile.BadZipFile, EOFError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read snapshot {path!r}: {exc}") from exc
+
+
+def restore_server_state(server: PDRServer, state: SnapshotState) -> None:
+    """Load ``state`` into a freshly constructed, empty ``server``."""
+    server.table.restore(state.motions, state.tnow)
+    server.histogram.load_state_arrays(state.hist_state)
+    server.pa.load_state_arrays(state.pa_state)
+    # Rebuild the index by direct insertion (the table must NOT re-notify
+    # the histogram/PA listeners, whose state is already restored).
+    for motion in state.motions:
+        server.tree.insert(motion)
 
 
 def load_server(path: Union[str, "object"], expected_objects: int = 0) -> PDRServer:
@@ -83,41 +198,11 @@ def load_server(path: Union[str, "object"], expected_objects: int = 0) -> PDRSer
     ``expected_objects`` sizes the buffer pool; it defaults to the snapshot's
     object count.
     """
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise StorageError(
-                f"snapshot format {version} not supported (expected {_FORMAT_VERSION})"
-            )
-        config = _config_from_dict(json.loads(bytes(data["config_json"]).decode()))
-        tnow = int(data["tnow"])
-        motion_array = data["motions"]
-        motions = [
-            Motion(int(row[0]), int(row[1]), row[2], row[3], row[4], row[5])
-            for row in motion_array
-        ]
-        server = PDRServer(
-            config,
-            expected_objects=expected_objects or max(len(motions), 1),
-            tnow=tnow,
-        )
-        server.table.restore(motions, tnow)
-        server.histogram.load_state_arrays(
-            {
-                "counts": data["hist_counts"],
-                "slot_time": data["hist_slot_time"],
-                "tnow": tnow,
-            }
-        )
-        server.pa.load_state_arrays(
-            {
-                "coeffs": data["pa_coeffs"],
-                "slot_time": data["pa_slot_time"],
-                "tnow": tnow,
-            }
-        )
-    # Rebuild the index by direct insertion (the table must NOT re-notify
-    # the histogram/PA listeners, whose state is already restored).
-    for motion in motions:
-        server.tree.insert(motion)
+    state = read_snapshot(path)
+    server = PDRServer(
+        state.config,
+        expected_objects=expected_objects or max(len(state.motions), 1),
+        tnow=state.tnow,
+    )
+    restore_server_state(server, state)
     return server

@@ -7,7 +7,9 @@ import pytest
 
 from repro.core.errors import InvalidParameterError
 from repro.methods.monitor import PDRMonitor
-from tests.conftest import populate_clustered
+from repro.reliability.faults import FaultInjector
+from repro.reliability.validation import ReliabilityConfig
+from tests.conftest import populate_clustered, small_system_config
 
 
 @pytest.fixture
@@ -108,3 +110,73 @@ class TestClockDriven:
             assert changed == [first]
         else:
             assert changed == []
+
+
+class TestFaultTolerance:
+    """The standing query must outlive failures of single evaluations."""
+
+    @pytest.fixture
+    def faulty_server(self):
+        from repro import PDRServer
+
+        faults = FaultInjector()
+        server = PDRServer(
+            small_system_config(),
+            expected_objects=120,
+            reliability=ReliabilityConfig(faults=faults),
+        )
+        populate_clustered(server, 100)
+        return server, faults
+
+    def test_failed_evaluation_becomes_an_event_not_an_exception(self, faulty_server):
+        server, faults = faulty_server
+        monitor = PDRMonitor(server, varrho=4.0, method="fr")
+        ok = monitor.poll()
+        assert ok.status == "ok"
+        faults.inject_error("buffer.io", times=None)  # exhausts all retries
+        server.buffer.clear()  # cold pool: the next FR read must touch the device
+        failed = monitor.poll()
+        assert failed.status == "failed"
+        assert failed.result is None
+        assert "TransientIOError" in failed.error
+        assert len(monitor.events) == 2
+        assert monitor.failed_events() == [failed]
+        # failed events are not "changes": an unknown answer is not empty
+        assert failed not in monitor.changed_events()
+
+    def test_clock_driven_monitoring_survives_faults(self, faulty_server):
+        server, faults = faulty_server
+        monitor = PDRMonitor(server, varrho=4.0, method="fr", every=1)
+        server.table.add_listener(monitor)
+        faults.inject_error("buffer.io", times=None)
+        server.advance_to(server.tnow + 1)  # must not unwind the advance
+        assert server.tnow == 1
+        assert monitor.latest.status == "failed"
+        faults.clear()
+        server.advance_to(server.tnow + 1)
+        assert monitor.latest.status == "ok"
+
+    def test_diff_baseline_survives_a_failed_evaluation(self, faulty_server):
+        server, faults = faulty_server
+        monitor = PDRMonitor(server, varrho=4.0, method="fr")
+        first = monitor.poll()
+        faults.inject_error("buffer.io", times=None)
+        server.buffer.clear()
+        assert monitor.poll().status == "failed"
+        faults.clear()
+        third = monitor.poll()
+        # the world did not move: the diff runs against the last *known*
+        # answer (first), not against the failed event's emptiness
+        assert third.status == "ok"
+        assert not third.changed
+        assert first.regions.symmetric_difference_area(third.regions) == pytest.approx(0.0)
+
+    def test_degraded_evaluation_is_flagged(self, faulty_server):
+        server, faults = faulty_server
+        monitor = PDRMonitor(server, varrho=4.0, method="fr", deadline=0.5)
+        faults.inject_delay("fr.refine", seconds=0.2)
+        event = monitor.poll()
+        assert event.status == "degraded"
+        assert event.result is not None
+        assert event.result.stats.method == "pa"
+        assert event.result.requested_method == "fr"

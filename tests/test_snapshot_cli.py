@@ -170,3 +170,57 @@ class TestCLI:
         # The render block is 30 lines of 60 chars.
         lines = out.strip().splitlines()
         assert any(len(line) == 60 for line in lines)
+
+    def test_query_with_deadline_reports_actual_method(self, tmp_path, capsys):
+        snap = tmp_path / "world.npz"
+        main(["simulate", "--objects", "100", "--warmup", "2",
+              "--network-grid", "8", "--out", str(snap)])
+        capsys.readouterr()
+        rc = main(["query", "--snapshot", str(snap), "--method", "fr",
+                   "--varrho", "2", "--deadline", "60"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        # a generous budget: FR answers itself, nothing degrades
+        assert captured.out.startswith("fr @")
+        assert "degraded" not in captured.err
+
+
+class TestCLIErrorMapping:
+    """Every ReproError family maps to one stderr line + a distinct code."""
+
+    def test_missing_snapshot_is_a_storage_error(self, tmp_path, capsys):
+        rc = main(["query", "--snapshot", str(tmp_path / "absent.npz"),
+                   "--varrho", "2"])
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        err_lines = captured.err.strip().splitlines()
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error: StorageError")
+
+    def test_invalid_parameter_exits_2(self, tmp_path, capsys):
+        snap = tmp_path / "world.npz"
+        main(["simulate", "--objects", "80", "--warmup", "2",
+              "--network-grid", "8", "--out", str(snap)])
+        capsys.readouterr()
+        rc = main(["query", "--snapshot", str(snap), "--varrho", "2",
+                   "--l", "-5"])
+        assert rc == 2
+        assert "error: InvalidParameterError" in capsys.readouterr().err
+
+    def test_horizon_violation_exits_4(self, tmp_path, capsys):
+        snap = tmp_path / "world.npz"
+        main(["simulate", "--objects", "80", "--warmup", "2",
+              "--network-grid", "8", "--out", str(snap)])
+        capsys.readouterr()
+        rc = main(["query", "--snapshot", str(snap), "--varrho", "2",
+                   "--offset", "10000"])
+        assert rc == 4
+        assert "error: HorizonError" in capsys.readouterr().err
+
+    def test_exit_codes_are_distinct_and_nonzero(self):
+        from repro.cli import EXIT_CODES
+
+        codes = [code for _cls, code in EXIT_CODES]
+        assert len(set(codes)) == len(codes)
+        assert all(code != 0 for code in codes)

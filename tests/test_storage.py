@@ -132,6 +132,47 @@ class TestBufferPool:
         assert stats.hit_ratio == pytest.approx(0.75)
         assert IOStats().hit_ratio == 0.0
 
+    def test_resize_shrink_evicts_in_lru_order(self):
+        pool = BufferPool(capacity_pages=4)
+        for page in range(4):
+            pool.access(page)
+        pool.access(0)  # 0 becomes most-recent; LRU order is now 1, 2, 3, 0
+        pool.resize(2)
+        assert not pool.contains(1) and not pool.contains(2)
+        assert pool.contains(3) and pool.contains(0)
+
+    def test_resize_grow_and_same_keep_residents(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.access(1)
+        pool.access(2)
+        pool.resize(2)
+        pool.resize(5)
+        assert pool.contains(1) and pool.contains(2)
+        assert len(pool) == 2
+
+    def test_hit_ratio_with_zero_accesses_is_zero(self):
+        pool = BufferPool(capacity_pages=1)
+        assert pool.stats.hit_ratio == 0.0  # no division-by-zero
+
+    def test_injected_fault_behaves_like_a_failed_read(self):
+        from repro.core.errors import TransientIOError
+        from repro.reliability.faults import FaultInjector
+
+        faults = FaultInjector()
+        pool = BufferPool(capacity_pages=4, faults=faults)
+        pool.access(1)
+        faults.inject_error("buffer.io")
+        with pytest.raises(TransientIOError):
+            pool.access(2)
+        # the failed read neither counted as a miss nor became resident
+        assert not pool.contains(2)
+        assert pool.stats.misses == 1
+        # ... and a hit never touches the device, so it cannot fault
+        faults.inject_error("buffer.io")
+        assert pool.access(1) is True
+        faults.clear()
+        assert pool.access(2) is False  # retry succeeds once the fault clears
+
     @given(st.lists(st.integers(0, 5), max_size=60), st.integers(1, 4))
     def test_working_set_smaller_than_capacity_always_hits_after_first(
         self, accesses, capacity
