@@ -24,6 +24,7 @@ from .core.errors import (
     IndexError_,
     InvalidParameterError,
     QueryError,
+    ReplicationError,
     ReproError,
     StorageError,
 )
@@ -36,10 +37,13 @@ __all__ = ["main", "build_parser", "EXIT_CODES"]
 
 # Most specific classes first: the first match wins, so a subclass (e.g.
 # HorizonError < QueryError, RecoveryError < StorageError) maps to its
-# family's code.  Exit code 1 is reserved for any other ReproError.
+# family's code.  ReplicationError precedes QueryError so that
+# StalenessExceededError (a member of both families) reports as a serving
+# problem, not a bad query.  Exit code 1 is reserved for any other ReproError.
 EXIT_CODES = (
     (InvalidParameterError, 2),
     (StorageError, 3),
+    (ReplicationError, 7),
     (QueryError, 4),
     (IndexError_, 5),
     (DatagenError, 6),
@@ -83,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the answer as a GeoJSON MultiPolygon")
     query.add_argument("--max-rects", type=int, default=10,
                        help="number of rectangles to list")
+    query.add_argument("--replicas", type=int, default=0,
+                       help="serve through a replication group with this many "
+                            "replicas (0 = query the snapshot server directly)")
+    query.add_argument("--staleness", type=int, default=0,
+                       help="max LSN lag at which a replica may serve reads")
+    query.add_argument("--reliability-report", action="store_true",
+                       help="print the reliability counters (dead-letter, "
+                            "degradations, replication) as JSON on stderr")
 
     peaks = sub.add_parser("peaks", help="report the k densest locations")
     peaks.add_argument("--snapshot", required=True, help="snapshot produced by simulate")
@@ -93,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="minimum distance between reported peaks")
 
     sub.add_parser("report", help="run the full evaluation (all tables/figures)")
+
+    rel = sub.add_parser(
+        "reliability",
+        help="recover a durable state directory and print its reliability "
+             "counters (WAL position, dead-letter queue, degradations)",
+    )
+    rel.add_argument("--state-dir", required=True,
+                     help="state directory of a durable server")
     return parser
 
 
@@ -113,8 +133,49 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _serving_group(snapshot_path: str, replicas: int, staleness: int, state_dir: str):
+    """A replication group whose primary is restored from a snapshot.
+
+    The snapshot becomes a durable primary (WAL in ``state_dir``) whose
+    first checkpoint carries the snapshot state at LSN 0, which is what
+    the replicas bootstrap from.
+    """
+    from .reliability.replication import ReplicationConfig, ReplicationGroup
+    from .reliability.validation import ReliabilityConfig
+    from .storage.snapshot import read_snapshot, restore_server_state
+
+    state = read_snapshot(snapshot_path)
+    primary = PDRServer(
+        state.config,
+        expected_objects=max(len(state.motions), 1),
+        tnow=state.tnow,
+        reliability=ReliabilityConfig(state_dir=state_dir, fsync=False),
+    )
+    restore_server_state(primary, state)
+    primary._manager.checkpoint(primary)
+    return ReplicationGroup(
+        primary,
+        n_replicas=replicas,
+        config=ReplicationConfig(staleness_bound=staleness),
+    )
+
+
 def _cmd_query(args) -> int:
-    server = load_server(args.snapshot)
+    if args.replicas > 0:
+        import shutil
+        import tempfile
+
+        state_dir = tempfile.mkdtemp(prefix="repro-serving-")
+        group = _serving_group(args.snapshot, args.replicas, args.staleness, state_dir)
+        try:
+            return _answer_query(group, args, group=group)
+        finally:
+            group.close()
+            shutil.rmtree(state_dir, ignore_errors=True)
+    return _answer_query(load_server(args.snapshot), args)
+
+
+def _answer_query(server, args, group=None) -> int:
     qt = server.tnow + args.offset
     result = server.query(
         args.method, qt=qt, l=args.l, rho=args.rho, varrho=args.varrho,
@@ -126,11 +187,22 @@ def _cmd_query(args) -> int:
             f"answered with {result.stats.method}",
             file=sys.stderr,
         )
+    backend = f" [served by {result.served_by}]" if result.served_by else ""
     print(
         f"{result.stats.method} @ qt={qt}: {len(result.regions)} dense rectangles, "
         f"area {result.area():,.1f}, cpu {result.stats.cpu_seconds * 1000:.1f} ms, "
         f"io {result.stats.io_count} pages ({result.stats.io_seconds:.2f} s charged)"
+        f"{backend}"
     )
+    if group is not None:
+        status = group.status()
+        lags = ", ".join(
+            f"{r['name']} lag={r['lag']}" for r in status["replicas"]
+        )
+        print(
+            f"replication: epoch {status['epoch']}, "
+            f"acked lsn {status['primary']['acked_lsn']}, {lags}"
+        )
     for rect in list(result.regions)[: args.max_rects]:
         print(f"  [{rect.x1:.2f}, {rect.x2:.2f}) x [{rect.y1:.2f}, {rect.y2:.2f})")
     remaining = len(result.regions) - args.max_rects
@@ -142,6 +214,21 @@ def _cmd_query(args) -> int:
         import json
 
         print(json.dumps(result.regions.to_geojson()))
+    if args.reliability_report:
+        import json
+
+        print(json.dumps(server.reliability_report(), default=str), file=sys.stderr)
+    return 0
+
+
+def _cmd_reliability(args) -> int:
+    import json
+
+    server = PDRServer.recover(args.state_dir)
+    try:
+        print(json.dumps(server.reliability_report(), indent=2, default=str))
+    finally:
+        server.close()
     return 0
 
 
@@ -166,6 +253,8 @@ def main(argv=None) -> int:
             return _cmd_query(args)
         if args.command == "peaks":
             return _cmd_peaks(args)
+        if args.command == "reliability":
+            return _cmd_reliability(args)
         if args.command == "report":
             from .experiments.run_all import main as report_main
 

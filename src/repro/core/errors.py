@@ -85,6 +85,49 @@ class RecoveryError(StorageError):
     """Checkpoint/replay recovery could not reconstruct a server."""
 
 
+class ReplicationError(ReproError):
+    """Base class for the replication / serving-tier failures."""
+
+
+class NotPrimaryError(ReplicationError):
+    """A write reached a server that is not the acting primary.
+
+    Raised by ``report`` / ``retire`` / ``advance_to`` on replicas and on
+    fenced ex-primaries: after a failover the old primary's epoch is
+    stale, and accepting its writes would fork the log.
+    """
+
+
+class StalenessExceededError(ReplicationError, QueryError):
+    """No backend could serve the read within the staleness bound.
+
+    Every replica lags the primary by more than the configured bound and
+    the primary itself is unavailable; the caller should retry after the
+    replicas catch up (or a failover promotes one).
+    """
+
+
+class FailoverError(ReplicationError):
+    """No replica could be promoted to primary.
+
+    Every candidate either failed to catch up to the durable WAL or
+    failed the post-catch-up structural audit.
+    """
+
+
+class AdmissionRejectedError(QueryError):
+    """The admission controller shed this query to protect the group.
+
+    ``retry_after`` (seconds on the server clock) tells the client when
+    the token bucket will have refilled enough to admit the cheapest
+    acceptable evaluation of this query.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class AuditError(RecoveryError):
     """The post-recovery structural invariant audit found violations."""
 

@@ -143,9 +143,12 @@ class QueryResult:
     """A PDR answer: the dense regions plus evaluation statistics.
 
     ``degraded`` is set by the deadline ladder when the answer was
-    produced by a cheaper method than the one requested;
+    produced by a cheaper method than the one requested (or by the
+    admission controller when the method was downgraded at the door);
     ``requested_method`` then names the original request while
-    ``stats.method`` names the method that actually ran.
+    ``stats.method`` names the method that actually ran.  ``served_by``
+    names the backend that produced the answer when the query was routed
+    through a replication group.
     """
 
     regions: RegionSet
@@ -153,6 +156,7 @@ class QueryResult:
     query: Optional[SnapshotPDRQuery] = None
     degraded: bool = False
     requested_method: Optional[str] = None
+    served_by: Optional[str] = None
 
     def area(self) -> float:
         return self.regions.area()

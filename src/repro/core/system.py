@@ -32,6 +32,7 @@ This is the class the examples and the experiment harness build on.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import List, Optional, Set
 
 from ..baselines.bruteforce import bruteforce_from_motions
@@ -87,10 +88,24 @@ class PDRServer:
         expected_objects: int = 100_000,
         tnow: int = 0,
         reliability: Optional[ReliabilityConfig] = None,
+        role: str = "primary",
     ) -> None:
+        if role not in ("primary", "replica"):
+            raise InvalidParameterError(
+                f"role must be 'primary' or 'replica', got {role!r}"
+            )
         self.config = config or SystemConfig()
         cfg = self.config
         self.reliability = reliability or ReliabilityConfig()
+        if role == "replica" and self.reliability.state_dir is not None:
+            raise InvalidParameterError(
+                "replicas hold no WAL of their own; durability belongs to "
+                "the primary (a promoted replica attaches the group's "
+                "manager instead)"
+            )
+        self.role = role
+        self.epoch = 0
+        self.query_counters: Counter = Counter()
         self.expected_objects = expected_objects
         self.faults = self.reliability.faults
         # An injector brings its own (virtual) clock, which then also
@@ -160,6 +175,7 @@ class PDRServer:
         logged (when durability is on) and applied everywhere, returning
         the registered :class:`Motion`.
         """
+        self._check_writable()
         verdict = self._validator.validate(
             oid, x, y, vx, vy, t, self.table.tnow, self._tick_oids
         )
@@ -178,6 +194,15 @@ class PDRServer:
             self.faults.hit("report.apply")
         return self._apply_report(oid, x, y, vx, vy)
 
+    def _check_writable(self) -> None:
+        if self.role != "primary":
+            from .errors import NotPrimaryError
+
+            raise NotPrimaryError(
+                f"server is {self.role!r} (epoch {self.epoch}); writes must "
+                "go to the acting primary"
+            )
+
     def _apply_report(
         self, oid: int, x: float, y: float, vx: float, vy: float
     ) -> Motion:
@@ -189,6 +214,7 @@ class PDRServer:
         """Remove ``oid`` permanently.  Unknown ids are quarantined, not
         raised: a double-retire (e.g. a duplicated departure message) must
         not take the serving path down."""
+        self._check_writable()
         if oid not in self.table:
             self.dead_letters.push(
                 RejectedReport(
@@ -212,6 +238,7 @@ class PDRServer:
 
     def advance_to(self, tnow: int) -> None:
         """Move the server clock; retires and creates histogram/PA slots."""
+        self._check_writable()
         if tnow == self.table.tnow:
             return
         if tnow < self.table.tnow:
@@ -253,12 +280,40 @@ class PDRServer:
             t = int(record["t"])
             if t > self.table.tnow:
                 self._apply_advance(t)
+        elif op == "epoch":
+            self.epoch = max(self.epoch, int(record["epoch"]))
         else:
             raise StorageError(f"unknown update-log op {op!r}")
 
     def attach_manager(self, manager) -> None:
         """Re-attach durability after recovery (recovery only)."""
         self._manager = manager
+
+    # ------------------------------------------------------------------
+    # replication roles
+    # ------------------------------------------------------------------
+    def promote(self, epoch: int) -> None:
+        """Make this server the acting primary at fencing term ``epoch``.
+
+        Called by the failover coordinator after the replica has caught
+        up to the durable WAL and passed the structural audit.  The epoch
+        must strictly advance; when a manager is attached the bump is
+        written to the WAL so recovery (and every other replica) learns
+        the fencing point.
+        """
+        if epoch <= self.epoch:
+            raise InvalidParameterError(
+                f"promotion epoch must exceed the current epoch "
+                f"({epoch} <= {self.epoch})"
+            )
+        self.role = "primary"
+        self.epoch = epoch
+        if self._manager is not None:
+            self._manager.log_epoch(epoch, self.tnow)
+
+    def demote(self) -> None:
+        """Fence this server out of the primary role; its writes now raise."""
+        self.role = "fenced"
 
     @property
     def wal_lsn(self) -> Optional[int]:
@@ -345,7 +400,7 @@ class PDRServer:
         q = self.make_query(qt=qt, l=l, rho=rho, varrho=varrho)
         n_retries = self.reliability.retries if retries is None else retries
         if deadline is not None:
-            return evaluate_with_degradation(
+            result = evaluate_with_degradation(
                 self,
                 method,
                 q,
@@ -353,13 +408,17 @@ class PDRServer:
                 retries=n_retries,
                 backoff_seconds=self.reliability.backoff_seconds,
             )
-        result, _ = run_with_retries(
-            lambda: self.evaluate(method, q),
-            n_retries,
-            self.reliability.backoff_seconds,
-            self.clock,
-        )
-        result.requested_method = method
+        else:
+            result, _ = run_with_retries(
+                lambda: self.evaluate(method, q),
+                n_retries,
+                self.reliability.backoff_seconds,
+                self.clock,
+            )
+            result.requested_method = method
+        self.query_counters["served"] += 1
+        if result.degraded:
+            self.query_counters["degraded"] += 1
         return result
 
     def evaluate(
@@ -430,7 +489,11 @@ class PDRServer:
     def reliability_report(self) -> dict:
         """Operator-facing counters for the reliability layer."""
         return {
+            "role": self.role,
+            "epoch": self.epoch,
             "dead_letter_total": self.dead_letters.total,
             "dead_letter_counts": dict(self.dead_letters.counts),
+            "queries_served": self.query_counters["served"],
+            "queries_degraded": self.query_counters["degraded"],
             "wal_lsn": self.wal_lsn,
         }

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core.errors import InvalidParameterError, ReproError
+from ..core.errors import AdmissionRejectedError, InvalidParameterError, ReproError
 from ..core.query import QueryResult
 from ..core.regions import RegionSet
 from ..motion.updates import UpdateListener
@@ -37,7 +37,9 @@ class MonitorEvent:
     """One evaluation of the standing query.
 
     ``status`` is ``"ok"``, ``"degraded"`` (the deadline ladder answered
-    with a cheaper method) or ``"failed"`` (the evaluation raised;
+    with a cheaper method), ``"shed"`` (the admission controller rejected
+    the evaluation to protect an overloaded group; ``retry_after`` says
+    when to expect capacity) or ``"failed"`` (the evaluation raised;
     ``error`` holds the message and ``result`` is ``None``).
     """
 
@@ -49,6 +51,7 @@ class MonitorEvent:
     result: Optional[QueryResult]
     status: str = "ok"
     error: Optional[str] = None
+    retry_after: Optional[float] = None
 
     @property
     def changed(self) -> bool:
@@ -118,6 +121,20 @@ class PDRMonitor(UpdateListener):
                 self.method, qt=qt, l=self.l, rho=self.rho, varrho=self.varrho,
                 deadline=self.deadline,
             )
+        except AdmissionRejectedError as exc:
+            event = MonitorEvent(
+                tnow=tnow,
+                qt=qt,
+                regions=RegionSet(),
+                appeared_area=0.0,
+                vanished_area=0.0,
+                result=None,
+                status="shed",
+                error=f"{type(exc).__name__}: {exc}",
+                retry_after=exc.retry_after,
+            )
+            self.events.append(event)
+            return event
         except ReproError as exc:
             event = MonitorEvent(
                 tnow=tnow,
@@ -157,11 +174,18 @@ class PDRMonitor(UpdateListener):
     def changed_events(self) -> List[MonitorEvent]:
         """Only the evaluations where the dense picture actually moved.
 
-        Failed evaluations never count as change: an unknown answer is
-        not an empty one.
+        Failed and shed evaluations never count as change: an unknown
+        answer is not an empty one.
         """
-        return [e for e in self.events if e.status != "failed" and e.changed]
+        return [
+            e for e in self.events
+            if e.status not in ("failed", "shed") and e.changed
+        ]
 
     def failed_events(self) -> List[MonitorEvent]:
         """The evaluations that raised (for alerting/backfill)."""
         return [e for e in self.events if e.status == "failed"]
+
+    def shed_events(self) -> List[MonitorEvent]:
+        """The evaluations the admission controller rejected under load."""
+        return [e for e in self.events if e.status == "shed"]

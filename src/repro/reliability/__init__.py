@@ -1,7 +1,7 @@
 """Fault-tolerant serving: the reliability layer of the PDR server.
 
 This package makes :class:`~repro.core.system.PDRServer` survive hostile
-inputs and partial failures.  Four pillars:
+inputs and partial failures.  Six pillars:
 
 * **Ingestion hardening** (:mod:`.validation`): every report is validated
   at the ``report()`` boundary and rejects are routed to a bounded
@@ -17,14 +17,37 @@ inputs and partial failures.  Four pillars:
   invariants afterwards.
 * **Deterministic fault injection** (:mod:`.faults`): named fault sites
   at which tests inject I/O errors, delays and crash points.
+* **Replication + failover** (:mod:`.replication`): a
+  :class:`ReplicationGroup` ships the primary's WAL to N replicas,
+  serves staleness-bounded reads from them, and promotes the
+  most-caught-up replica (audited, epoch-fenced) when the primary's
+  lease lapses.
+* **Admission control** (:mod:`.admission`): a front-door token bucket
+  with per-method cost classes, a concurrency cap and per-backend
+  circuit breakers; overload degrades ``fr -> pa -> dh-optimistic`` and
+  then sheds with ``retry_after`` instead of collapsing.
 
 :mod:`.recovery` is deliberately *not* imported here: it depends on
 :mod:`repro.storage.snapshot`, which imports :mod:`repro.core.system` —
 import it lazily (as ``PDRServer.recover`` does) to avoid the cycle.
 """
 
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+    TokenBucket,
+)
 from .deadline import DEGRADATION_LADDER, Deadline, evaluate_with_degradation, run_with_retries
 from .faults import FaultInjector, InjectedCrashError, MonotonicClock, VirtualClock
+from .replication import (
+    FailoverCoordinator,
+    Replica,
+    ReplicationConfig,
+    ReplicationGroup,
+    ReplicationLink,
+    ShippedRecord,
+)
 from .validation import (
     REJECT_REASONS,
     DeadLetterQueue,
@@ -35,18 +58,28 @@ from .validation import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "CircuitBreaker",
     "DEGRADATION_LADDER",
     "Deadline",
     "DeadLetterQueue",
     "evaluate_with_degradation",
+    "FailoverCoordinator",
     "FaultInjector",
     "InjectedCrashError",
     "MonotonicClock",
     "REJECT_REASONS",
     "RejectedReport",
     "ReliabilityConfig",
+    "Replica",
+    "ReplicationConfig",
+    "ReplicationGroup",
+    "ReplicationLink",
     "ReportPolicy",
     "ReportValidator",
+    "ShippedRecord",
+    "TokenBucket",
     "run_with_retries",
     "VirtualClock",
 ]

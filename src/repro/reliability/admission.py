@@ -1,0 +1,250 @@
+"""Front-door admission control: rate limiting, shedding, circuit breaking.
+
+A serving tier protecting itself from overload has to make three
+decisions per query *before* any evaluation work happens:
+
+* **Can the group afford it right now?**  A token bucket refilled at
+  ``rate`` tokens per second (burst-capped) is charged the query's *cost
+  class* — FR costs more than PA, PA more than the histogram bounds.
+  When the requested class is unaffordable the controller degrades the
+  request down the same ``fr -> pa -> dh-optimistic`` ladder the deadline
+  machinery uses, trading answer precision for admission.  When even the
+  cheapest rung is unaffordable, the query is shed with a
+  :class:`~repro.core.errors.AdmissionRejectedError` carrying
+  ``retry_after`` — an overloaded group answers *something* (cheap
+  approximations and polite rejections) instead of building an unbounded
+  queue and missing every deadline.
+* **Is there a seat?**  A concurrency cap bounds in-flight evaluations
+  regardless of token balance (tokens bound throughput, seats bound
+  memory/latency amplification).
+* **Is the chosen backend healthy?**  A per-backend
+  :class:`CircuitBreaker` ejects a repeatedly failing replica from the
+  rotation and re-admits it after a probation period via a half-open
+  probe, so one sick backend cannot eat every query's retry budget.
+
+Everything is driven by an injectable :class:`~repro.reliability.faults.Clock`,
+so overload scenarios are exact in tests (virtual time) and real in
+production (monotonic time).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import AdmissionRejectedError, InvalidParameterError
+from .deadline import DEGRADATION_LADDER
+from .faults import Clock
+
+__all__ = [
+    "TokenBucket",
+    "CircuitBreaker",
+    "AdmissionConfig",
+    "AdmissionController",
+    "DEFAULT_COST_CLASSES",
+]
+
+# Relative evaluation cost per method, in tokens.  The ordering mirrors
+# measured work: FR touches the index and refines candidates (I/O), PA is
+# a branch-and-bound over coefficients, the histogram bounds are O(m^2)
+# arithmetic.  Bruteforce/edq scan every object and are priced out.
+DEFAULT_COST_CLASSES: Dict[str, float] = {
+    "fr": 4.0,
+    "fr-optimized": 4.0,
+    "pa": 2.0,
+    "dh-optimistic": 1.0,
+    "dh-pessimistic": 1.0,
+    "dense-cell": 1.0,
+    "bruteforce": 8.0,
+    "edq": 8.0,
+}
+
+
+class TokenBucket:
+    """A continuously refilled token bucket on an injectable clock."""
+
+    def __init__(self, rate: float, burst: float, clock: Clock) -> None:
+        if rate <= 0:
+            raise InvalidParameterError(f"refill rate must be positive, got {rate}")
+        if burst <= 0:
+            raise InvalidParameterError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = float(burst)
+        self._last = clock.now()
+
+    def _refill(self) -> None:
+        now = self.clock.now()
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_take(self, cost: float) -> bool:
+        """Charge ``cost`` tokens if the balance allows; never blocks."""
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def seconds_until(self, cost: float) -> float:
+        """Time until ``cost`` tokens will be available (0 if already)."""
+        self._refill()
+        deficit = cost - self.tokens
+        return max(0.0, deficit / self.rate)
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open failure isolation for one backend.
+
+    ``threshold`` consecutive failures open the breaker for
+    ``probation_seconds``; the first :meth:`allow` after probation is a
+    half-open probe whose outcome closes or re-opens it.
+    """
+
+    def __init__(self, clock: Clock, threshold: int = 3, probation_seconds: float = 5.0) -> None:
+        if threshold < 1:
+            raise InvalidParameterError(f"breaker threshold must be >= 1, got {threshold}")
+        if probation_seconds <= 0:
+            raise InvalidParameterError(
+                f"probation must be positive, got {probation_seconds}"
+            )
+        self.clock = clock
+        self.threshold = threshold
+        self.probation_seconds = float(probation_seconds)
+        self.failures = 0
+        self.state = "closed"
+        self._open_until = 0.0
+
+    def allow(self) -> bool:
+        """May a request be routed to this backend right now?"""
+        if self.state == "open" and self.clock.now() >= self._open_until:
+            self.state = "half-open"
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = "closed"
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        # A failed half-open probe re-opens immediately; a closed breaker
+        # opens only once the consecutive-failure threshold is reached.
+        if self.state == "half-open" or self.failures >= self.threshold:
+            self.state = "open"
+            self._open_until = self.clock.now() + self.probation_seconds
+
+
+@dataclass
+class AdmissionConfig:
+    """Knobs of the front-door admission controller.
+
+    ``rate``/``burst`` shape the token bucket (tokens per second /
+    bucket capacity); ``max_concurrent`` caps in-flight evaluations;
+    ``cost_classes`` prices each method; ``degrade`` allows the
+    controller to admit a cheaper method than requested before shedding.
+    """
+
+    rate: float = 100.0
+    burst: float = 200.0
+    max_concurrent: int = 64
+    cost_classes: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_COST_CLASSES)
+    )
+    degrade: bool = True
+    breaker_threshold: int = 3
+    breaker_probation_seconds: float = 5.0
+
+
+class AdmissionController:
+    """Decides, per query, to admit / degrade / shed before evaluation."""
+
+    def __init__(self, config: AdmissionConfig, clock: Clock) -> None:
+        self.config = config
+        self.clock = clock
+        self.bucket = TokenBucket(config.rate, config.burst, clock)
+        self.in_flight = 0
+        self.counters: Counter = Counter()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def cost_of(self, method: str) -> float:
+        return self.config.cost_classes.get(method, 1.0)
+
+    def _rungs(self, method: str) -> Tuple[str, ...]:
+        if not self.config.degrade:
+            return (method,)
+        if method in DEGRADATION_LADDER:
+            return DEGRADATION_LADDER[DEGRADATION_LADDER.index(method):]
+        return (method,)
+
+    def admit(self, method: str) -> Tuple[str, bool]:
+        """Admit ``method`` or a cheaper rung; raise when shedding.
+
+        Returns ``(admitted_method, degraded)``.  Raises
+        :class:`AdmissionRejectedError` with a ``retry_after`` computed
+        from the bucket's refill rate when even the cheapest acceptable
+        rung is unaffordable, or when the concurrency cap is reached.
+        """
+        self.counters["requested"] += 1
+        if self.in_flight >= self.config.max_concurrent:
+            self.counters["rejected"] += 1
+            self.counters["rejected_concurrency"] += 1
+            raise AdmissionRejectedError(
+                f"concurrency cap reached ({self.in_flight} in flight, "
+                f"cap {self.config.max_concurrent})",
+                retry_after=self.bucket.seconds_until(self.cost_of(method)),
+            )
+        rungs = self._rungs(method)
+        for rung in rungs:
+            if self.bucket.try_take(self.cost_of(rung)):
+                self.counters["admitted"] += 1
+                if rung != method:
+                    self.counters["degraded"] += 1
+                return rung, rung != method
+        self.counters["rejected"] += 1
+        self.counters["rejected_rate"] += 1
+        cheapest = rungs[-1]
+        raise AdmissionRejectedError(
+            f"query load exceeds capacity; {method!r} (and every cheaper "
+            f"rung) shed",
+            retry_after=self.bucket.seconds_until(self.cost_of(cheapest)),
+        )
+
+    @contextmanager
+    def slot(self):
+        """Holds one concurrency seat for the duration of an evaluation."""
+        self.in_flight += 1
+        try:
+            yield
+        finally:
+            self.in_flight -= 1
+
+    # ------------------------------------------------------------------
+    # circuit breaking
+    # ------------------------------------------------------------------
+    def breaker(self, backend: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding ``backend``."""
+        if backend not in self._breakers:
+            self._breakers[backend] = CircuitBreaker(
+                self.clock,
+                threshold=self.config.breaker_threshold,
+                probation_seconds=self.config.breaker_probation_seconds,
+            )
+        return self._breakers[backend]
+
+    def breaker_states(self) -> Dict[str, str]:
+        return {name: b.state for name, b in self._breakers.items()}
+
+    def report(self) -> dict:
+        """Operator-facing counters (merged into ``reliability_report``)."""
+        out = dict(self.counters)
+        out["in_flight"] = self.in_flight
+        out["tokens"] = round(self.bucket.tokens, 6)
+        out["breakers"] = self.breaker_states()
+        return out

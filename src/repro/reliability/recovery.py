@@ -35,7 +35,7 @@ import dataclasses
 import json
 import os
 import re
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..core.errors import RecoveryError, StorageError, AuditError, IndexError_
 from .faults import FaultInjector
@@ -46,6 +46,8 @@ __all__ = [
     "ReliabilityManager",
     "recover_server",
     "audit_server",
+    "records_from_lsn",
+    "load_latest_checkpoint",
 ]
 
 _WAL_RE = re.compile(r"^wal-(\d{8})\.jsonl$")
@@ -162,6 +164,11 @@ class ReliabilityManager:
         self.lsn = lsn
         self.last_checkpoint_tick = last_checkpoint_tick
         self._wal = UpdateLog(_wal_path(state_dir, seq), fsync=config.fsync)
+        # Called with each record *after* it is durably appended — the
+        # WAL-shipping hook of the replication layer.  A record is only
+        # shipped once it is on disk, so a replica can never get ahead of
+        # what recovery would reconstruct.
+        self.on_append: List[Callable[[dict], None]] = []
 
     # ------------------------------------------------------------------
     # construction paths
@@ -216,6 +223,8 @@ class ReliabilityManager:
         record["lsn"] = self.lsn + 1
         self._wal.append(record)
         self.lsn += 1
+        for callback in self.on_append:
+            callback(record)
 
     def log_report(self, oid: int, x: float, y: float, vx: float, vy: float, tnow: int) -> None:
         self._append({"op": "report", "t": tnow, "oid": oid, "x": x, "y": y, "vx": vx, "vy": vy})
@@ -225,6 +234,14 @@ class ReliabilityManager:
 
     def log_advance(self, tnow: int) -> None:
         self._append({"op": "advance", "t": tnow})
+
+    def log_epoch(self, epoch: int, tnow: int) -> None:
+        """Durably record a fencing-epoch bump (written at promotion)."""
+        self._append({"op": "epoch", "t": tnow, "epoch": epoch})
+
+    def records_from_lsn(self, lsn: int) -> Iterator[dict]:
+        """Public replay cursor over this manager's WAL (see module fn)."""
+        return records_from_lsn(self.state_dir, lsn)
 
     # ------------------------------------------------------------------
     # checkpoints
@@ -298,6 +315,46 @@ def _iter_wal_records(state_dir: str, from_seq: int) -> Iterator[Tuple[int, dict
         last_segment = i == len(seqs) - 1
         for record in UpdateLog.read_records(_wal_path(state_dir, seq), repair=last_segment):
             yield seq, record
+
+
+def records_from_lsn(state_dir: str, lsn: int) -> Iterator[dict]:
+    """Every WAL record with an LSN strictly greater than ``lsn``, in order.
+
+    This is the public replay cursor the replication layer catches up
+    with: a replica that has applied up to ``lsn`` asks for everything
+    after it, across however many segments the log has rotated through.
+    Raises :class:`RecoveryError` while iterating if the log no longer
+    reaches back that far — the segments holding ``lsn + 1`` were pruned
+    after a checkpoint — or if the surviving records are not contiguous;
+    the caller must then bootstrap from a checkpoint image instead
+    (:func:`load_latest_checkpoint`).
+    """
+    if lsn < 0:
+        raise RecoveryError(f"replay cursor must be >= 0, got {lsn}")
+    expected = lsn + 1
+    for _seq, record in _iter_wal_records(state_dir, 0):
+        record_lsn = int(record["lsn"])
+        if record_lsn <= lsn:
+            continue
+        if record_lsn != expected:
+            raise RecoveryError(
+                f"update log in {state_dir!r} cannot replay from lsn {lsn}: "
+                f"expected record {expected}, found {record_lsn} "
+                f"(older segments pruned or log corrupt)"
+            )
+        expected += 1
+        yield record
+
+
+def load_latest_checkpoint(state_dir: str):
+    """The newest loadable checkpoint image, or ``None``.
+
+    Returns ``(SnapshotState, sidecar)`` where the sidecar dict carries
+    ``{"seq", "lsn", "tnow"}`` — the replay cursor to resume from after
+    installing the image.  This is the image-transfer half of replica
+    catch-up; the other half is :func:`records_from_lsn`.
+    """
+    return _load_best_checkpoint(state_dir)
 
 
 def _load_best_checkpoint(state_dir: str):

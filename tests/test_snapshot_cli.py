@@ -224,3 +224,81 @@ class TestCLIErrorMapping:
         codes = [code for _cls, code in EXIT_CODES]
         assert len(set(codes)) == len(codes)
         assert all(code != 0 for code in codes)
+
+
+class TestServingCLI:
+    """The replicated-serving surface: --replicas/--staleness/reliability."""
+
+    def _snapshot(self, tmp_path):
+        snap = tmp_path / "world.npz"
+        main(["simulate", "--objects", "120", "--warmup", "2",
+              "--network-grid", "8", "--out", str(snap)])
+        return snap
+
+    def test_query_through_a_replication_group(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path)
+        capsys.readouterr()
+        rc = main(["query", "--snapshot", str(snap), "--method", "pa",
+                   "--varrho", "2", "--replicas", "2", "--staleness", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # a caught-up replica (bootstrapped from the LSN-0 checkpoint
+        # image) serves the read, and the topology line reports the group
+        assert "[served by replica-" in out
+        assert "replication: epoch 1" in out
+        assert "replica-0 lag=0, replica-1 lag=0" in out
+
+    def test_reliability_report_flag_emits_json(self, tmp_path, capsys):
+        import json
+
+        snap = self._snapshot(tmp_path)
+        capsys.readouterr()
+        rc = main(["query", "--snapshot", str(snap), "--method", "pa",
+                   "--varrho", "2", "--replicas", "1", "--reliability-report"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        report = json.loads(captured.err.strip().splitlines()[-1])
+        assert report["replication"]["epoch"] == 1
+        assert report["queries_served"] >= 0
+        assert "dead_letter_total" in report
+
+    def test_reliability_subcommand_reads_a_state_dir(self, tmp_path, capsys):
+        import json
+
+        from repro.reliability.validation import ReliabilityConfig
+
+        state_dir = str(tmp_path / "state")
+        server = PDRServer(
+            small_system_config(),
+            expected_objects=60,
+            reliability=ReliabilityConfig(state_dir=state_dir, fsync=False),
+        )
+        populate_clustered(server, 60, seed=3)
+        server.report(0, float("nan"), 1.0, 0.0, 0.0)  # one dead-lettered report
+        assert server.reliability_report()["dead_letter_total"] == 1
+        server.advance_to(2)
+        server.close()
+        rc = main(["reliability", "--state-dir", state_dir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        report = json.loads(out)
+        assert report["wal_lsn"] == server.wal_lsn
+        # dead letters are deliberately not durable: a rejected report never
+        # reached the WAL, so the recovered process starts a fresh ledger
+        assert report["dead_letter_total"] == 0
+        assert "dead_letter_counts" in report
+        assert report["role"] == "primary"
+
+    def test_replication_errors_exit_7(self):
+        from repro.cli import EXIT_CODES
+        from repro.core.errors import NotPrimaryError, StalenessExceededError
+
+        def code_for(exc):
+            for cls, code in EXIT_CODES:
+                if isinstance(exc, cls):
+                    return code
+            raise AssertionError("unmapped")
+
+        assert code_for(NotPrimaryError("x")) == 7
+        # a staleness violation is a serving problem, not a bad query
+        assert code_for(StalenessExceededError("x")) == 7
