@@ -22,6 +22,7 @@ from .core.config import SystemConfig
 from .core.errors import (
     DatagenError,
     IndexError_,
+    IntegrityError,
     InvalidParameterError,
     QueryError,
     ReplicationError,
@@ -37,11 +38,16 @@ __all__ = ["main", "build_parser", "EXIT_CODES"]
 
 # Most specific classes first: the first match wins, so a subclass (e.g.
 # HorizonError < QueryError, RecoveryError < StorageError) maps to its
-# family's code.  ReplicationError precedes QueryError so that
+# family's code.  IntegrityError precedes its parent StorageError so that
+# checksum damage (`repro verify`) is distinguishable from plain storage
+# failures; ReplicationError precedes QueryError so that
 # StalenessExceededError (a member of both families) reports as a serving
-# problem, not a bad query.  Exit code 1 is reserved for any other ReproError.
+# problem, not a bad query.  Exit code 1 is reserved for any other
+# ReproError; the chaos subcommand returns 9 directly when an invariant
+# oracle fails (that is a finding, not an exception).
 EXIT_CODES = (
     (InvalidParameterError, 2),
+    (IntegrityError, 8),
     (StorageError, 3),
     (ReplicationError, 7),
     (QueryError, 4),
@@ -49,6 +55,8 @@ EXIT_CODES = (
     (DatagenError, 6),
     (ReproError, 1),
 )
+EXIT_VERIFY_FAILED = 8
+EXIT_CHAOS_ORACLE_FAILED = 9
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,6 +121,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rel.add_argument("--state-dir", required=True,
                      help="state directory of a durable server")
+
+    verify = sub.add_parser(
+        "verify",
+        help="checksum-verify a durable state directory (exit 0 = every "
+             "WAL record and checkpoint artifact is intact, 8 = damage)",
+    )
+    verify.add_argument("--state-dir", required=True,
+                        help="state directory to scrub")
+    verify.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    verify.add_argument("--scrub", action="store_true",
+                        help="repair in place what is safe to repair: delete "
+                             "stray *.tmp files, truncate a torn WAL tail, "
+                             "quarantine corrupt artifacts")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos schedule against a replicated serving "
+             "stack and check the invariant oracles (exit 9 = violation, "
+             "with a shrunk reproducer)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="schedule seed")
+    chaos.add_argument("--events", type=int, default=200,
+                       help="number of scheduled events")
+    chaos.add_argument("--replicas", type=int, default=2,
+                       help="replicas behind the primary")
+    chaos.add_argument("--objects", type=int, default=24,
+                       help="moving-object id space of the workload")
+    chaos.add_argument("--staleness", type=int, default=0,
+                       help="staleness bound for replica reads")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="on failure, skip shrinking to a minimal reproducer")
+    chaos.add_argument("--repro-out", default=None,
+                       help="on failure, write the reproducer JSON here")
     return parser
 
 
@@ -232,6 +274,61 @@ def _cmd_reliability(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    import json
+
+    from .reliability.integrity import scrub_state_dir, verify_state_dir
+
+    if args.scrub:
+        report = scrub_state_dir(args.state_dir)
+        for action in report.actions:
+            print(f"scrub: {action}")
+    else:
+        report = verify_state_dir(args.state_dir)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.clean else EXIT_VERIFY_FAILED
+
+
+def _cmd_chaos(args) -> int:
+    import json
+    import shutil
+    import tempfile
+
+    from .reliability.chaos import ChaosConfig, ChaosScheduler
+
+    config = ChaosConfig(
+        seed=args.seed,
+        events=args.events,
+        replicas=args.replicas,
+        objects=args.objects,
+        staleness_bound=args.staleness,
+        shrink=not args.no_shrink,
+    )
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        result = ChaosScheduler(config, workdir).run()
+        if result.ok:
+            print(
+                f"chaos: seed {result.seed}, {result.events_run} events, "
+                f"{result.stats.get('oracle_sweeps', 0)} oracle sweeps, "
+                f"{result.stats.get('failovers', 0)} failovers, "
+                f"{result.stats.get('repairs', 0)} repairs, "
+                f"{result.stats.get('flips', 0)} bit-flips — all oracles green"
+            )
+            return 0
+        print(result.format_reproducer(), file=sys.stderr)
+        if args.repro_out:
+            with open(args.repro_out, "w", encoding="utf-8") as fh:
+                json.dump(result.to_dict(), fh, indent=2)
+            print(f"reproducer written to {args.repro_out}", file=sys.stderr)
+        return EXIT_CHAOS_ORACLE_FAILED
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def _cmd_peaks(args) -> int:
     from .methods.topk import top_k_peaks
 
@@ -255,6 +352,10 @@ def main(argv=None) -> int:
             return _cmd_peaks(args)
         if args.command == "reliability":
             return _cmd_reliability(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "report":
             from .experiments.run_all import main as report_main
 

@@ -85,6 +85,41 @@ class RecoveryError(StorageError):
     """Checkpoint/replay recovery could not reconstruct a server."""
 
 
+class IntegrityError(StorageError):
+    """Checksummed state failed verification.
+
+    Raised (or reported) when a WAL record frame, a checkpoint artifact
+    or a manifest digest does not match its recorded checksum — i.e. the
+    bytes on disk are not the bytes that were written, as opposed to a
+    protocol-level recovery problem.
+    """
+
+
+class CorruptionError(IntegrityError, RecoveryError):
+    """A durable file holds damaged bytes that replay must not trust.
+
+    Both an integrity failure (a checksum caught the damage) and a
+    recovery failure (the log cannot be replayed past it).  ``path``
+    names the damaged file and ``line`` the first bad record, so the
+    scrubber and the anti-entropy repair know exactly what to quarantine.
+    """
+
+    def __init__(self, message: str, path=None, line=None):
+        super().__init__(message)
+        self.path = path
+        self.line = line
+
+
+class RepairError(IntegrityError):
+    """Anti-entropy repair could not restore a contiguous acknowledged log.
+
+    The damaged LSN range is not covered by any surviving segment, any
+    loadable checkpoint, or the repair source's retained history — i.e.
+    completing the repair would silently lose acknowledged writes, which
+    is the one thing the durability layer promises never to do.
+    """
+
+
 class ReplicationError(ReproError):
     """Base class for the replication / serving-tier failures."""
 

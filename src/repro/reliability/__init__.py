@@ -26,10 +26,19 @@ inputs and partial failures.  Six pillars:
   with per-method cost classes, a concurrency cap and per-backend
   circuit breakers; overload degrades ``fr -> pa -> dh-optimistic`` and
   then sheds with ``retry_after`` instead of collapsing.
+* **State integrity** (:mod:`.integrity`): every WAL record is
+  checksum-framed and every checkpoint artifact digest-pinned by the
+  manifest; :func:`verify_state_dir` scrubs a state directory
+  (clean / torn-tail / corrupt), :func:`scrub_state_dir` quarantines the
+  damage, and :func:`repair_state_dir` heals it from a caught-up replica
+  (anti-entropy).  The seeded chaos simulator that exercises all of this
+  end to end lives in :mod:`.chaos`.
 
 :mod:`.recovery` is deliberately *not* imported here: it depends on
 :mod:`repro.storage.snapshot`, which imports :mod:`repro.core.system` —
 import it lazily (as ``PDRServer.recover`` does) to avoid the cycle.
+:mod:`.chaos` is kept out for the same reason (it drives a full
+``PDRServer`` stack); import it directly.
 """
 
 from .admission import (
@@ -40,6 +49,16 @@ from .admission import (
 )
 from .deadline import DEGRADATION_LADDER, Deadline, evaluate_with_degradation, run_with_retries
 from .faults import FaultInjector, InjectedCrashError, MonotonicClock, VirtualClock
+from .integrity import (
+    FileStatus,
+    IntegrityReport,
+    flip_byte,
+    frame_record,
+    parse_wal_line,
+    repair_state_dir,
+    scrub_state_dir,
+    verify_state_dir,
+)
 from .replication import (
     FailoverCoordinator,
     Replica,
@@ -67,8 +86,16 @@ __all__ = [
     "evaluate_with_degradation",
     "FailoverCoordinator",
     "FaultInjector",
+    "FileStatus",
+    "flip_byte",
+    "frame_record",
     "InjectedCrashError",
+    "IntegrityReport",
     "MonotonicClock",
+    "parse_wal_line",
+    "repair_state_dir",
+    "scrub_state_dir",
+    "verify_state_dir",
     "REJECT_REASONS",
     "RejectedReport",
     "ReliabilityConfig",

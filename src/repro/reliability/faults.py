@@ -145,11 +145,29 @@ class FaultInjector:
         )
 
     def clear(self, site: Optional[str] = None) -> None:
-        """Disarm rules (for one site, or all); hit counters are kept."""
+        """Disarm rules (for one site, or all); hit counters are kept.
+
+        Because counters survive, a rule re-armed later with ``after=N``
+        would count the *stale* hits of the previous episode toward its
+        trigger — call :meth:`reset_counters` between episodes (as the
+        chaos scheduler does) when hit counts must start from zero.
+        """
         if site is None:
             self._rules.clear()
         else:
             self._rules.pop(site, None)
+
+    def reset_counters(self, site: Optional[str] = None) -> None:
+        """Zero the hit counters (for one site, or all).
+
+        Armed rules are untouched; their ``after=N`` offsets now count
+        from a fresh zero.  Use together with :meth:`clear` to give each
+        chaos episode an independent fault schedule on a shared injector.
+        """
+        if site is None:
+            self._hits.clear()
+        else:
+            self._hits.pop(site, None)
 
     # ------------------------------------------------------------------
     # the instrumented side

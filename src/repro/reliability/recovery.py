@@ -3,11 +3,16 @@
 State directory layout::
 
     server-config.json     system + reliability configuration (written once)
-    wal-<seq>.jsonl        append-only update log segments (one per epoch)
+    wal-<seq>.jsonl        append-only update log segments (one per epoch);
+                           each line is a checksum-framed record
+                           ``lsn:crc:payload`` (see reliability.integrity)
     ckpt-<seq>.npz         full state checkpoint (atomic snapshot write)
     ckpt-<seq>.json        checkpoint sidecar {seq, lsn, tnow}; its presence
                            marks the .npz as complete
-    MANIFEST.json          {"seq": n} — the newest durable checkpoint
+    MANIFEST.json          {"seq": n, "digests": {...}} — the newest durable
+                           checkpoint plus per-file checksums of every
+                           checkpoint artifact
+    quarantine/            corrupt files moved aside by the scrubber
 
 Every accepted update (report / retire / advance) is appended to the
 current WAL segment *before* it is applied (write-ahead), tagged with a
@@ -26,7 +31,11 @@ Crash safety at every step:
 * a crash during a checkpoint leaves the manifest pointing at the
   previous checkpoint, whose WAL segments are still intact;
 * a torn final WAL line (torn write) is detected and truncated on
-  recovery.
+  recovery;
+* a record whose checksum fails *mid*-log is corruption, not a torn
+  write: replay raises :class:`~repro.core.errors.CorruptionError` and
+  the integrity layer (:mod:`.integrity`) quarantines the segment and
+  repairs the LSN range from a caught-up replica.
 """
 
 from __future__ import annotations
@@ -37,8 +46,15 @@ import os
 import re
 from typing import Callable, Iterator, List, Optional, Tuple
 
-from ..core.errors import RecoveryError, StorageError, AuditError, IndexError_
+from ..core.errors import (
+    AuditError,
+    CorruptionError,
+    IndexError_,
+    RecoveryError,
+    StorageError,
+)
 from .faults import FaultInjector
+from .integrity import file_crc, frame_record, parse_wal_line
 from .validation import ReliabilityConfig, ReportPolicy
 
 __all__ = [
@@ -92,8 +108,28 @@ def _list_seqs(state_dir: str, pattern: re.Pattern) -> List[int]:
     return sorted(seqs)
 
 
+def _checkpoint_digests(state_dir: str) -> dict:
+    """Per-file checksums of every checkpoint artifact currently present.
+
+    Stored in the manifest so recovery (and the integrity scrubber) can
+    reject a bit-rotted image instead of trusting whatever still parses.
+    Entries for files that pruning later removes are simply ignored.
+    """
+    digests = {}
+    for name in os.listdir(state_dir):
+        if name.startswith("ckpt-") and (name.endswith(".npz") or name.endswith(".json")):
+            digests[name] = file_crc(os.path.join(state_dir, name))
+    return digests
+
+
 class UpdateLog:
-    """One append-only JSONL WAL segment with torn-tail repair."""
+    """One append-only WAL segment of checksum-framed JSONL records.
+
+    Each line is ``lsn:crc:payload`` (see
+    :func:`~repro.reliability.integrity.frame_record`); legacy unframed
+    lines written before framing existed are still read back, so an old
+    state directory upgrades in place as new appends land.
+    """
 
     def __init__(self, path: str, fsync: bool = True) -> None:
         self.path = path
@@ -101,7 +137,7 @@ class UpdateLog:
         self._fh = open(path, "a", encoding="utf-8")
 
     def append(self, record: dict) -> None:
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.write(frame_record(record))
         self._fh.flush()
         if self.fsync:
             os.fsync(self._fh.fileno())
@@ -114,26 +150,33 @@ class UpdateLog:
     def read_records(path: str, repair: bool = False) -> List[dict]:
         """Parse a segment; a torn final line is dropped (and, with
         ``repair``, truncated from the file so later appends stay valid).
-        A torn line anywhere *else* means real corruption and raises."""
+        A bad line anywhere *else* — including a record whose checksum
+        does not match — means real corruption and raises
+        :class:`~repro.core.errors.CorruptionError` naming the segment;
+        it must be quarantined and repaired, never truncated mid-log."""
         records: List[dict] = []
         good_bytes = 0
         torn = False
         with open(path, "rb") as fh:
             data = fh.read()
-        for line in data.splitlines(keepends=True):
-            if torn:
-                raise RecoveryError(
-                    f"corrupt update log {path!r}: malformed record "
-                    f"before end of file"
-                )
+        lines = data.splitlines(keepends=True)
+        for i, line in enumerate(lines):
             try:
                 text = line.decode("utf-8")
                 if not text.endswith("\n"):
                     raise ValueError("unterminated line")
-                records.append(json.loads(text))
+                records.append(parse_wal_line(text))
                 good_bytes += len(line)
-            except (UnicodeDecodeError, ValueError):
-                torn = True  # tolerated only as the very last line
+            except (UnicodeDecodeError, ValueError) as exc:
+                if i == len(lines) - 1:
+                    torn = True  # tolerated only as the very last line
+                    break
+                raise CorruptionError(
+                    f"corrupt update log {path!r}: {exc} at line {i + 1} "
+                    "before end of file",
+                    path=path,
+                    line=i + 1,
+                ) from exc
         if torn and repair:
             with open(path, "rb+") as fh:
                 fh.truncate(good_bytes)
@@ -269,7 +312,10 @@ class ReliabilityManager:
         )
         if self.faults is not None:
             self.faults.hit("checkpoint.manifest")
-        _atomic_write_json(_manifest_path(self.state_dir), {"seq": new_seq})
+        _atomic_write_json(
+            _manifest_path(self.state_dir),
+            {"seq": new_seq, "digests": _checkpoint_digests(self.state_dir)},
+        )
         self._wal.close()
         self.seq = new_seq
         self._wal = UpdateLog(_wal_path(self.state_dir, new_seq), fsync=self.config.fsync)
@@ -359,7 +405,16 @@ def load_latest_checkpoint(state_dir: str):
 
 def _load_best_checkpoint(state_dir: str):
     """The newest loadable checkpoint at or below the manifest seq, or
-    ``None``.  Returns ``(SnapshotState, sidecar_dict)``."""
+    ``None``.  Returns ``(SnapshotState, sidecar_dict)``.
+
+    Candidates are discovered through the anchored ``ckpt-NNNNNNNN.json``
+    pattern, so stray ``*.tmp`` leftovers of a crash-during-rename (a
+    zero-byte or half-written ``ckpt-*.npz.tmp`` / ``MANIFEST.json.tmp``)
+    are never read — the scrubber deletes them.  When the manifest
+    records per-file digests, a candidate whose image or sidecar fails
+    its digest is skipped exactly like an unreadable one: bit rot falls
+    back to the previous checkpoint instead of being replayed on top of.
+    """
     from ..storage.snapshot import read_snapshot
 
     manifest_path = _manifest_path(state_dir)
@@ -367,12 +422,18 @@ def _load_best_checkpoint(state_dir: str):
         return None
     try:
         with open(manifest_path, "r", encoding="utf-8") as fh:
-            manifest_seq = int(json.load(fh)["seq"])
+            manifest = json.load(fh)
+        manifest_seq = int(manifest["seq"])
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         raise RecoveryError(f"corrupt manifest in {state_dir!r}: {exc}") from exc
+    digests = manifest.get("digests", {}) if isinstance(manifest, dict) else {}
+    if not isinstance(digests, dict):
+        digests = {}
     candidates = [s for s in _list_seqs(state_dir, _CKPT_RE) if s <= manifest_seq]
     for seq in reversed(candidates):
         try:
+            if _digest_mismatch(state_dir, seq, digests):
+                continue  # bit rot: fall back to the previous checkpoint
             with open(_ckpt_sidecar_path(state_dir, seq), "r", encoding="utf-8") as fh:
                 sidecar = json.load(fh)
             state = read_snapshot(_ckpt_npz_path(state_dir, seq))
@@ -380,6 +441,14 @@ def _load_best_checkpoint(state_dir: str):
         except (StorageError, OSError, ValueError, KeyError, json.JSONDecodeError):
             continue  # fall back to the previous checkpoint
     return None
+
+
+def _digest_mismatch(state_dir: str, seq: int, digests: dict) -> bool:
+    for path in (_ckpt_npz_path(state_dir, seq), _ckpt_sidecar_path(state_dir, seq)):
+        name = os.path.basename(path)
+        if name in digests and os.path.exists(path) and file_crc(path) != digests[name]:
+            return True
+    return False
 
 
 def recover_server(

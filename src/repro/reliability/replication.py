@@ -32,6 +32,12 @@ plus N in-memory replicas into a serving tier:
   :class:`~repro.core.errors.NotPrimaryError`) and re-points the router.
   Replicas reject shipped records from a stale epoch, so a resurrected
   old primary cannot fork the group.
+* **Anti-entropy.**  Replicas retain their applied records (bounded
+  history); :meth:`ReplicationGroup.anti_entropy` runs the integrity
+  scrubber (:mod:`.integrity`) over the durable state directory,
+  quarantines anything failing its checksum, and re-fetches the damaged
+  LSN range — or a whole checkpoint image — from the most-caught-up
+  replica, so bit rot on the primary's disk heals from the group.
 * **Reads.**  Queries are routed to replicas within the configured
   staleness bound (LSN lag), round-robin, each behind a circuit breaker;
   the primary serves reads when no replica qualifies.  An optional
@@ -48,6 +54,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -83,12 +90,17 @@ class ReplicationConfig:
     still serve reads (0 = only fully caught-up replicas).
     ``lease_timeout`` is how long the coordinator waits for a heartbeat
     before declaring the primary dead and failing over.
+    ``repair_history`` is how many applied records each replica retains
+    for anti-entropy repair of a corrupted primary log (the damaged LSN
+    range is re-fetched from this history; beyond it, repair falls back
+    to a checkpoint image of the replica's state).
     """
 
     staleness_bound: int = 0
     lease_timeout: float = 3.0
     breaker_threshold: int = 3
     breaker_probation_seconds: float = 5.0
+    repair_history: int = 65536
 
 
 @dataclass(frozen=True)
@@ -169,16 +181,41 @@ class ReplicationLink:
 
 
 class Replica:
-    """One replica server plus its apply cursor and reorder buffer."""
+    """One replica server plus its apply cursor and reorder buffer.
 
-    def __init__(self, name: str, server, link: ReplicationLink) -> None:
+    Every applied record is also retained (up to ``history_limit``
+    entries, oldest evicted first) in :attr:`history` — the record cache
+    that anti-entropy repair re-fetches a corrupted primary-log range
+    from (:meth:`records_in_range`).
+    """
+
+    def __init__(
+        self, name: str, server, link: ReplicationLink, history_limit: int = 65536
+    ) -> None:
         self.name = name
         self.server = server
         self.link = link
         self.applied_lsn = 0
         self.epoch = 0
+        self.history_limit = max(0, int(history_limit))
+        self.history: "OrderedDict[int, dict]" = OrderedDict()
         self._pending: Dict[int, dict] = {}
         self.fenced_rejects = 0
+
+    def _remember(self, lsn: int, record: dict) -> None:
+        self.history[lsn] = record
+        while len(self.history) > self.history_limit:
+            self.history.popitem(last=False)
+
+    def records_in_range(self, lo: int, hi: int) -> Optional[List[dict]]:
+        """The applied records with LSNs in ``[lo, hi]``, or ``None`` if
+        the retained history does not cover the whole range (the repair
+        caller must then fall back to a checkpoint image)."""
+        if lo > hi:
+            return []
+        if any(lsn not in self.history for lsn in range(lo, hi + 1)):
+            return None
+        return [self.history[lsn] for lsn in range(lo, hi + 1)]
 
     def offer(self, shipped: ShippedRecord) -> None:
         """Accept one shipped record into the reorder buffer.
@@ -201,6 +238,7 @@ class Replica:
             record = self._pending.pop(self.applied_lsn + 1)
             self.server.apply_logged_record(record)
             self.applied_lsn += 1
+            self._remember(self.applied_lsn, record)
             applied += 1
         return applied
 
@@ -245,6 +283,7 @@ class Replica:
         for record in records:
             self.server.apply_logged_record(record)
             self.applied_lsn = int(record["lsn"])
+            self._remember(self.applied_lsn, record)
             applied += 1
         self._pending = {n: r for n, r in self._pending.items() if n > self.applied_lsn}
         self.epoch = max(self.epoch, self.server.epoch)
@@ -366,7 +405,12 @@ class ReplicationGroup:
             role="replica",
             reliability=ReliabilityConfig(faults=self.faults),
         )
-        replica = Replica(name, server, ReplicationLink(name, faults=self.faults))
+        replica = Replica(
+            name,
+            server,
+            ReplicationLink(name, faults=self.faults),
+            history_limit=self.replication.repair_history,
+        )
         replica.epoch = self.epoch
         replica.catch_up(self.state_dir, prefer_image=True)
         self.replicas.append(replica)
@@ -427,6 +471,50 @@ class ReplicationGroup:
         for replica in self.replicas:
             if replica.stalled or replica.lag(self._acked_lsn) > 0:
                 replica.catch_up(self.state_dir)
+
+    # ------------------------------------------------------------------
+    # anti-entropy
+    # ------------------------------------------------------------------
+    def anti_entropy(self):
+        """Verify the durable state directory and repair it from a replica.
+
+        The integrity scrubber (:mod:`.integrity`) classifies every
+        artifact; if anything is damaged — a bit-flipped WAL record, a
+        checkpoint failing its manifest digest, a stray temp file — the
+        damage is quarantined and the missing LSN range is re-fetched
+        from the most-caught-up replica's retained history (falling back
+        to a checkpoint image of its state).  The acting primary's WAL
+        handle is closed around the repair and durably re-attached after
+        it, so the group keeps serving.  Returns the final
+        :class:`~repro.reliability.integrity.IntegrityReport` (clean, or
+        :class:`~repro.core.errors.RepairError` is raised).
+        """
+        from .integrity import repair_state_dir, verify_state_dir
+        from .recovery import ReliabilityManager
+
+        self.pump()
+        report = verify_state_dir(self.state_dir)
+        if report.clean and not report.stray_tmp():
+            return report
+        source = max(self.replicas, key=lambda r: r.applied_lsn, default=None)
+        was_alive = self.primary_alive
+        if was_alive:
+            self.primary._manager.close()
+        try:
+            report = repair_state_dir(
+                self.state_dir,
+                source,
+                target_lsn=self._acked_lsn,
+                fsync=self.primary.reliability.fsync,
+            )
+        finally:
+            if was_alive:
+                manager = ReliabilityManager.resume(
+                    self.state_dir, self.primary.reliability, lsn=self._acked_lsn
+                )
+                manager.on_append.append(self._ship)
+                self.primary.attach_manager(manager)
+        return report
 
     # ------------------------------------------------------------------
     # failover

@@ -1,0 +1,132 @@
+"""Seeded chaos: randomized fault schedules with invariant oracles.
+
+The acceptance scenario of the chaos work: a fixed-seed schedule of 200+
+events — with injected bit-flips and crashes on both sides of the
+replication group — must end with every invariant oracle green and a
+state directory that ``repro verify`` accepts.  Determinism (same seed,
+same schedule) and the ddmin shrinker are covered separately so a CI
+failure always comes with a replayable minimal reproducer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.reliability.chaos import (
+    DISRUPTIONS,
+    ChaosConfig,
+    ChaosScheduler,
+    ddmin,
+)
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    return str(tmp_path / "chaos")
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self, workdir):
+        a = ChaosScheduler(ChaosConfig(seed=123), workdir).build_schedule()
+        b = ChaosScheduler(ChaosConfig(seed=123), workdir).build_schedule()
+        assert a == b
+
+    def test_different_seeds_differ(self, workdir):
+        a = ChaosScheduler(ChaosConfig(seed=1), workdir).build_schedule()
+        b = ChaosScheduler(ChaosConfig(seed=2), workdir).build_schedule()
+        assert a != b
+
+    def test_minimum_disruptions_are_forced(self, workdir):
+        config = ChaosConfig(seed=5, events=30, min_disruptions=6)
+        events = ChaosScheduler(config, workdir).build_schedule()
+        assert sum(1 for e in events if e[0] in DISRUPTIONS) >= 6
+
+    def test_events_are_json_serialisable(self, workdir):
+        events = ChaosScheduler(ChaosConfig(seed=9, events=50), workdir).build_schedule()
+        assert json.loads(json.dumps(events)) == [list(e) for e in events]
+
+
+class TestCampaign:
+    def test_fixed_seed_campaign_ends_green(self, workdir):
+        """The acceptance run: >= 200 events, >= 3 injected corruptions
+        and crashes across primary and replicas, every oracle green, and
+        ``repro verify`` exits 0 on the surviving state directory."""
+        config = ChaosConfig(seed=42, events=220, replicas=2)
+        result = ChaosScheduler(config, workdir).run()
+        assert result.ok, result.format_reproducer()
+        assert result.events_run == 220
+        disruptions = (
+            result.stats.get("flips", 0)
+            + result.stats.get("failovers", 0)
+            + result.stats.get("replica_crashes", 0)
+        )
+        assert result.stats.get("flips", 0) >= 3
+        assert result.stats.get("failovers", 0) >= 1
+        assert result.stats.get("replica_crashes", 0) >= 1
+        assert disruptions >= config.min_disruptions
+        assert result.stats.get("oracle_sweeps", 0) > 0
+        assert cli.main(["verify", "--state-dir", result.final_state_dir]) == 0
+
+    def test_execute_is_deterministic(self, workdir):
+        """Replaying the same schedule gives the same stats — the
+        property every shrunk reproducer depends on."""
+        sched = ChaosScheduler(ChaosConfig(seed=7, events=60), workdir)
+        events = sched.build_schedule()
+        f1, s1, _ = sched.execute(events)
+        f2, s2, _ = sched.execute(events)
+        assert (f1 is None) == (f2 is None)
+        assert s1 == s2
+
+    def test_flip_counter_resets_between_episodes(self, workdir):
+        sched = ChaosScheduler(ChaosConfig(seed=7, events=60), workdir)
+        events = sched.build_schedule()
+        _, s1, _ = sched.execute(events)
+        _, s2, _ = sched.execute(events)
+        # a shared injector without reset_counters() would accumulate
+        assert s1["flips"] == s2["flips"]
+
+
+class TestDdmin:
+    def fails_with_markers(self, events):
+        return sum(1 for e in events if e[0] == "marker") >= 2
+
+    def test_shrinks_to_the_minimal_pair(self):
+        noise = [("noise", i) for i in range(40)]
+        events = noise[:13] + [("marker", 1)] + noise[13:29] + [("marker", 2)] + noise[29:]
+        shrunk = ddmin(events, self.fails_with_markers)
+        assert shrunk == [("marker", 1), ("marker", 2)]
+
+    def test_respects_the_run_budget(self):
+        calls = []
+
+        def fails(events):
+            calls.append(1)
+            return self.fails_with_markers(events)
+
+        events = [("marker", i) for i in range(64)]
+        ddmin(events, fails, max_runs=10)
+        assert len(calls) <= 10
+
+    def test_single_event_failures_shrink_to_one(self):
+        events = [("noise", i) for i in range(20)] + [("marker", 0)]
+        shrunk = ddmin(events, lambda ev: any(e[0] == "marker" for e in ev))
+        assert shrunk == [("marker", 0)]
+
+
+class TestChaosCLI:
+    def test_green_run_exits_zero(self, capsys):
+        assert cli.main(["chaos", "--seed", "3", "--events", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "all oracles green" in out
+        assert "seed 3" in out
+
+    def test_repro_out_written_only_on_failure(self, tmp_path, capsys):
+        out_path = str(tmp_path / "repro.json")
+        assert cli.main([
+            "chaos", "--seed", "3", "--events", "60", "--repro-out", out_path,
+        ]) == 0
+        assert not os.path.exists(out_path)

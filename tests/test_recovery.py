@@ -347,6 +347,17 @@ class TestAudit:
         payload["hist_counts"][server.tnow % slots].flat[0] += 7
         with open(path, "wb") as fh:
             np.savez_compressed(fh, **payload)
+        # semantic corruption, not bit rot: refresh the manifest digest so
+        # the image still checksum-verifies (otherwise recovery would treat
+        # it as damaged and fall back) and only the audit can catch it
+        from repro.reliability.integrity import file_crc
+
+        manifest_path = os.path.join(rc.state_dir, "MANIFEST.json")
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        manifest.setdefault("digests", {})[os.path.basename(path)] = file_crc(path)
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
         with pytest.raises(AuditError):
             PDRServer.recover(rc.state_dir)
         # ... but an explicit opt-out lets an operator inspect the state
