@@ -236,6 +236,15 @@ def _answer_query(server, args, group=None) -> int:
         f"io {result.stats.io_count} pages ({result.stats.io_seconds:.2f} s charged)"
         f"{backend}"
     )
+    extra = result.stats.extra
+    if "filter_seconds" in extra:
+        print(
+            f"  stages: filter {extra['filter_seconds'] * 1000:.1f} ms, "
+            f"fetch {extra.get('fetch_seconds', 0.0) * 1000:.1f} ms, "
+            f"sweep {extra.get('sweep_seconds', 0.0) * 1000:.1f} ms; "
+            f"histogram cache {int(extra.get('cache_hits', 0))} hit(s) / "
+            f"{int(extra.get('cache_misses', 0))} miss(es)"
+        )
     if group is not None:
         status = group.status()
         lags = ", ".join(

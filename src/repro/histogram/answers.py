@@ -29,6 +29,8 @@ def _answer(
     include_candidates: bool,
     method: str,
 ) -> QueryResult:
+    hits_before = histogram.cache_hits
+    misses_before = histogram.cache_misses
     start = time.perf_counter()
     result = filter_query(histogram, query)
     region = result.accepted_region()
@@ -42,6 +44,8 @@ def _answer(
         rejected_cells=result.rejected_count,
         candidate_cells=result.candidate_count,
     )
+    stats.extra["cache_hits"] = float(histogram.cache_hits - hits_before)
+    stats.extra["cache_misses"] = float(histogram.cache_misses - misses_before)
     return QueryResult(regions=region, stats=stats, query=query)
 
 

@@ -20,7 +20,7 @@ object re-reports within ``U``, so slots up to ``t_now + W`` are complete.)
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -50,9 +50,22 @@ class DensityHistogram(UpdateListener):
         self._counts = np.zeros((self._slots, m, m), dtype=np.int32)
         # Slot index of absolute time t is t % slots; the invariant is that
         # _slot_time[t % slots] == t for every t in [tnow, tnow + horizon].
-        self._slot_time = np.zeros(self._slots, dtype=np.int64)
-        for t in range(tnow, tnow + self._slots):
-            self._slot_time[t % self._slots] = t
+        self._slot_time = np.empty(self._slots, dtype=np.int64)
+        self._label_slots(tnow)
+        # Update epoch: bumped on every counter mutation (scatter, advance,
+        # snapshot restore).  The per-timestamp prefix/block-sum caches are
+        # tagged with the epoch they were built at, so invalidation is a
+        # single integer comparison — no eager clearing on the update path.
+        self._epoch = 0
+        self._cache_epoch = 0
+        self._prefix_cache: Dict[int, np.ndarray] = {}
+        self._block_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _label_slots(self, tnow: int) -> None:
+        ts = np.arange(tnow, tnow + self._slots, dtype=np.int64)
+        self._slot_time[ts % self._slots] = ts
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -101,17 +114,22 @@ class DensityHistogram(UpdateListener):
         if tnow < self._tnow:
             raise InvalidParameterError(f"clock moved backwards to {tnow}")
         steps = tnow - self._tnow
+        if steps == 0:
+            return
         if steps >= self._slots:
             # The whole window expired; reset everything.
             self._counts[:] = 0
-            for t in range(tnow, tnow + self._slots):
-                self._slot_time[t % self._slots] = t
+            self._label_slots(tnow)
         else:
-            for t_old in range(self._tnow, tnow):
-                slot = t_old % self._slots
-                self._counts[slot] = 0
-                self._slot_time[slot] = t_old + self._slots
+            # The expired slots are < _slots of them, hence all distinct:
+            # zero them and bump their labels one ring revolution in two
+            # vectorised writes instead of a per-timestamp Python loop.
+            t_old = np.arange(self._tnow, tnow, dtype=np.int64)
+            slots = t_old % self._slots
+            self._counts[slots] = 0
+            self._slot_time[slots] = t_old + self._slots
         self._tnow = tnow
+        self._epoch += 1
 
     def _covered_times(self, t_from: int, t_to: int) -> np.ndarray:
         """Timestamps in both the window and ``[t_from, t_to]``."""
@@ -131,6 +149,20 @@ class DensityHistogram(UpdateListener):
         motion = update.motion
         self._scatter(motion, motion.t_ref, motion.t_ref + self.horizon, -1)
 
+    def on_insert_batch(self, updates: Sequence[InsertUpdate]) -> None:
+        self._scatter_batch(
+            [u.motion for u in updates],
+            np.array([u.tnow for u in updates], dtype=np.int64),
+            +1,
+        )
+
+    def on_delete_batch(self, updates: Sequence[DeleteUpdate]) -> None:
+        self._scatter_batch(
+            [u.motion for u in updates],
+            np.array([u.motion.t_ref for u in updates], dtype=np.int64),
+            -1,
+        )
+
     def _scatter(self, motion: Motion, t_from: int, t_to: int, sign: int) -> None:
         ts = self._covered_times(t_from, t_to)
         if ts.size == 0:
@@ -143,6 +175,40 @@ class DensityHistogram(UpdateListener):
             ts, ix, iy = ts[inside], ix[inside], iy[inside]
         slots = ts % self._slots
         np.add.at(self._counts, (slots, ix, iy), sign)
+        self._epoch += 1
+
+    def _scatter_batch(
+        self, motions: Sequence[Motion], t_from: np.ndarray, sign: int
+    ) -> None:
+        """Scatter a whole wave of motions in one numpy pass.
+
+        Each motion covers ``[t_from_i, t_from_i + horizon]`` intersected
+        with the maintained window.  Counter increments are integers, so
+        the accumulation is exactly the per-motion result in any order.
+        """
+        if not motions:
+            return
+        n = len(motions)
+        ts = np.arange(self._tnow, self._tnow + self._slots, dtype=np.int64)
+        t_ref = np.array([m.t_ref for m in motions], dtype=float)
+        x0 = np.array([m.x for m in motions])
+        y0 = np.array([m.y for m in motions])
+        vx = np.array([m.vx for m in motions])
+        vy = np.array([m.vy for m in motions])
+        # (n, slots) trajectory grid — the same ``x + dt*vx`` the scalar
+        # path computes, evaluated for the whole wave at once.
+        dt = ts.astype(float)[None, :] - t_ref[:, None]
+        xs = x0[:, None] + dt * vx[:, None]
+        ys = y0[:, None] + dt * vy[:, None]
+        covered = (ts[None, :] >= np.maximum(t_from, self._tnow)[:, None]) & (
+            ts[None, :] <= np.minimum(t_from + self.horizon, self._tnow + self.horizon)[:, None]
+        )
+        ix = np.floor((xs - self.domain.x1) / self.cell_edge).astype(np.int64)
+        iy = np.floor((ys - self.domain.y1) / self.cell_edge_y).astype(np.int64)
+        hit = covered & (ix >= 0) & (ix < self.m) & (iy >= 0) & (iy < self.m)
+        slots = np.broadcast_to((ts % self._slots)[None, :], (n, self._slots))
+        np.add.at(self._counts, (slots[hit], ix[hit], iy[hit]), sign)
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # reads
@@ -162,16 +228,54 @@ class DensityHistogram(UpdateListener):
         """Number of (in-domain, in-window) object contributions at ``qt``."""
         return int(self.counts_at(qt).sum())
 
+    def _cache_ready(self) -> None:
+        """Lazily drop cache entries from a previous update epoch (O(1) on
+        the update path: mutations only bump the epoch counter)."""
+        if self._cache_epoch != self._epoch:
+            self._prefix_cache.clear()
+            self._block_cache.clear()
+            self._cache_epoch = self._epoch
+
     def prefix_sums(self, qt: int) -> np.ndarray:
         """2-D inclusive prefix sums ``P`` with a zero border.
 
         ``P[i+1, j+1] - P[i0, j+1] - P[i+1, j0] + P[i0, j0]`` is the count of
         the cell block ``[i0..i] x [j0..j]``.
+
+        Memoized per ``qt`` until the next counter mutation; the returned
+        array is shared cached state — treat it as read-only.
         """
+        self._cache_ready()
+        cached = self._prefix_cache.get(qt)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
         counts = self.counts_at(qt)
         prefix = np.zeros((self.m + 1, self.m + 1), dtype=np.int64)
         prefix[1:, 1:] = counts.astype(np.int64).cumsum(axis=0).cumsum(axis=1)
+        self._prefix_cache[qt] = prefix
         return prefix
+
+    def block_sums_at(self, qt: int, radius: int) -> np.ndarray:
+        """Memoized :meth:`block_sums` over :meth:`prefix_sums` of ``qt``.
+
+        This is the cache the FR filter, the DH answers, interval
+        classification and the monitor's re-evaluations share: the same
+        ``(qt, radius)`` pair between two updates costs one dict lookup.
+        The returned array is shared cached state — treat it as read-only.
+        """
+        self._cache_ready()
+        key = (qt, radius)
+        cached = self._block_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        prefix = self.prefix_sums(qt)
+        self.cache_misses += 1
+        block = self.block_sums(prefix, radius)
+        self._block_cache[key] = block
+        return block
 
     # ------------------------------------------------------------------
     # persistence
@@ -196,6 +300,7 @@ class DensityHistogram(UpdateListener):
         self._counts = counts
         self._slot_time = slot_time
         self._tnow = int(state["tnow"])
+        self._epoch += 1
 
     @staticmethod
     def block_sums(prefix: np.ndarray, radius: int) -> np.ndarray:

@@ -105,9 +105,11 @@ class FilterResult:
 def filter_query(histogram: DensityHistogram, query: SnapshotPDRQuery) -> FilterResult:
     """Run the filtering step (Algorithm 1) for ``query``."""
     eta_l, eta_h = neighborhood_radii(query.l, histogram.cell_edge)
-    prefix = histogram.prefix_sums(query.qt)
-    n_conservative = DensityHistogram.block_sums(prefix, eta_l - 1)
-    n_expansive = DensityHistogram.block_sums(prefix, eta_h)
+    # Memoized per (qt, radius) until the next counter mutation: monitors,
+    # interval evaluation and repeated same-timestamp queries pay for the
+    # prefix sums once (see DensityHistogram.block_sums_at).
+    n_conservative = histogram.block_sums_at(query.qt, eta_l - 1)
+    n_expansive = histogram.block_sums_at(query.qt, eta_h)
     threshold = query.min_count - _THRESHOLD_EPS
     accepted = n_conservative >= threshold
     rejected = ~accepted & (n_expansive < threshold)

@@ -22,7 +22,9 @@ Implementation notes
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..core.errors import IndexError_, InvalidParameterError
 from ..core.geometry import Rect
@@ -33,6 +35,7 @@ from ..storage.pages import DEFAULT_PAGE_MODEL, PageModel
 from .node import Node
 from .split import pick_split
 from .tpbr import TPBR
+from .zorder import interleave
 
 __all__ = ["TPRTree"]
 
@@ -81,6 +84,56 @@ class TPRTree(UpdateListener):
 
     def on_advance(self, tnow: int) -> None:
         self._tnow = max(self._tnow, float(tnow))
+
+    def on_insert_batch(self, updates: Sequence[InsertUpdate]) -> None:
+        """Insert a wave; the indexed *contents* are exactly the per-update
+        result, but tree shape is an implementation detail (only
+        :meth:`validate`'s invariants are contractual).
+
+        A wave that outnumbers the current population is cheaper to absorb
+        by rebuilding the whole tree with an STR bulk pack than by N
+        choose-leaf descents; smaller waves are inserted incrementally in
+        Z-order, so spatially adjacent insertions descend into the same
+        subtrees back to back."""
+        if not updates:
+            return
+        self._tnow = max(self._tnow, float(max(u.tnow for u in updates)))
+        seen = set()
+        for update in updates:
+            oid = update.motion.oid
+            if oid in self._leaf_of or oid in seen:
+                raise IndexError_(
+                    f"object {oid} already indexed; delete its old motion first"
+                )
+            seen.add(oid)
+        if len(updates) > len(self._leaf_of):
+            self._bulk_build(
+                self.all_motions() + [u.motion for u in updates]
+            )
+        else:
+            for update in self._zorder_sorted(updates):
+                self.insert(update.motion)
+
+    def on_delete_batch(self, updates: Sequence[DeleteUpdate]) -> None:
+        """Delete a wave; when it covers at least half the population the
+        survivors are simply repacked (condensing node-by-node would
+        reinsert most of the tree anyway)."""
+        if not updates:
+            return
+        self._tnow = max(self._tnow, float(max(u.tnow for u in updates)))
+        if 2 * len(updates) >= len(self._leaf_of):
+            doomed = set()
+            for update in updates:
+                oid = update.motion.oid
+                if oid not in self._leaf_of or oid in doomed:
+                    raise IndexError_(f"object {oid} is not indexed")
+                doomed.add(oid)
+            self._bulk_build(
+                [m for m in self.all_motions() if m.oid not in doomed]
+            )
+        else:
+            for update in updates:
+                self.delete(update.motion)
 
     # ------------------------------------------------------------------
     # public API
@@ -199,6 +252,78 @@ class TPRTree(UpdateListener):
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _zorder_sorted(self, updates: Sequence[InsertUpdate]) -> List[InsertUpdate]:
+        """The wave ordered by Morton code of current position.
+
+        The quantisation grid spans the wave's own bounding box (the tree
+        has no domain of its own), which is all locality needs; ties keep
+        arrival order (stable sort)."""
+        if len(updates) < 2:
+            return list(updates)
+        pos = np.array([u.motion.position_at(self._tnow) for u in updates])
+        lo = pos.min(axis=0)
+        span = pos.max(axis=0) - lo
+        span[span == 0.0] = 1.0
+        cells = np.clip(((pos - lo) / span * 1024.0).astype(np.int64), 0, 1023)
+        codes = interleave(cells[:, 0], cells[:, 1])
+        order = np.argsort(codes, kind="stable")
+        return [updates[i] for i in order]
+
+    def _bulk_build(self, motions: List[Motion]) -> None:
+        """Rebuild the whole tree by Sort-Tile-Recursive packing.
+
+        Leaves are packed from vertical slabs of the x-sorted wave, each
+        slab y-sorted (classic STR); upper levels chunk children in slab
+        order.  Bounds are grown through the same :meth:`Node.add` path as
+        incremental insertion, so :meth:`validate`'s containment invariant
+        holds by construction.  All previous pages are invalidated — a
+        rebuild rewrites the file in the simulated-I/O model.
+        """
+        if self.buffer is not None:
+            for node in self.root.subtree_nodes():
+                self.buffer.invalidate(node.page_id)
+        self._leaf_of = {}
+        if not motions:
+            self.root = self._new_node(level=0)
+            return
+        t_ref = np.array([m.t_ref for m in motions], dtype=float)
+        dt = self._tnow - t_ref
+        px = np.array([m.x for m in motions]) + dt * np.array(
+            [m.vx for m in motions]
+        )
+        py = np.array([m.y for m in motions]) + dt * np.array(
+            [m.vy for m in motions]
+        )
+        per_leaf = self._leaf_fanout
+        n = len(motions)
+        n_leaves = -(-n // per_leaf)
+        n_slabs = int(np.ceil(np.sqrt(n_leaves)))
+        slab_pts = -(-n // n_slabs)
+        order_x = np.argsort(px, kind="stable")
+        nodes: List[Node] = []
+        for s in range(0, n, slab_pts):
+            slab = order_x[s : s + slab_pts]
+            slab = slab[np.argsort(py[slab], kind="stable")]
+            for c in range(0, len(slab), per_leaf):
+                leaf = self._new_node(level=0)
+                for i in slab[c : c + per_leaf]:
+                    motion = motions[i]
+                    leaf.add(motion)
+                    self._leaf_of[motion.oid] = leaf
+                nodes.append(leaf)
+        level = 1
+        while len(nodes) > 1:
+            parents = []
+            for c in range(0, len(nodes), self._internal_fanout):
+                parent = self._new_node(level)
+                for child in nodes[c : c + self._internal_fanout]:
+                    parent.add(child)
+                parents.append(parent)
+            nodes = parents
+            level += 1
+        self.root = nodes[0]
+        self.root.parent = None
+
     def _new_node(self, level: int) -> Node:
         node = Node(self._next_page, level, t_ref=self._tnow)
         self._next_page += 1

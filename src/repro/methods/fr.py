@@ -83,20 +83,27 @@ class FRMethod:
         """
         buffer = self.tree.buffer
         io_before = buffer.stats.misses if buffer is not None else 0
+        hits_before = self.histogram.cache_hits
+        misses_before = self.histogram.cache_misses
         start = time.perf_counter()
 
         filtered = filter_query(self.histogram, query)
+        filter_seconds = time.perf_counter() - start
         regions: List[Rect] = list(filtered.accepted_region())
         half = query.l / 2.0
         domain = self.histogram.domain
         objects_examined = 0
+        fetch_seconds = 0.0
+        sweep_seconds = 0.0
         for cell in self._candidate_rects(filtered):
             if self.faults is not None:
                 self.faults.hit("fr.refine")
             if deadline is not None:
                 deadline.check("fr.refine")
             fetch = cell.expanded(half)
+            stage = time.perf_counter()
             motions = self.tree.range_query(fetch, query.qt)
+            fetch_seconds += time.perf_counter() - stage
             objects_examined += len(motions)
             # Objects outside the domain do not count toward density — the
             # same convention the histogram maintains (see DensityHistogram).
@@ -105,7 +112,9 @@ class FRMethod:
                 for (x, y) in (m.position_at(query.qt) for m in motions)
                 if domain.contains_point(x, y)
             ]
+            stage = time.perf_counter()
             refined = refine_cell(positions, cell, query.l, query.min_count)
+            sweep_seconds += time.perf_counter() - stage
             regions.extend(refined)
 
         cpu = time.perf_counter() - start
@@ -122,5 +131,12 @@ class FRMethod:
             rejected_cells=filtered.rejected_count,
             candidate_cells=filtered.candidate_count,
             objects_examined=objects_examined,
+        )
+        stats.extra["filter_seconds"] = filter_seconds
+        stats.extra["fetch_seconds"] = fetch_seconds
+        stats.extra["sweep_seconds"] = sweep_seconds
+        stats.extra["cache_hits"] = float(self.histogram.cache_hits - hits_before)
+        stats.extra["cache_misses"] = float(
+            self.histogram.cache_misses - misses_before
         )
         return QueryResult(regions=RegionSet(regions), stats=stats, query=query)

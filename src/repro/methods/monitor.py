@@ -52,6 +52,10 @@ class MonitorEvent:
     status: str = "ok"
     error: Optional[str] = None
     retry_after: Optional[float] = None
+    # Histogram-cache hits/misses this evaluation incurred (0 for methods
+    # that never touch the filter, e.g. pure PA evaluations).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def changed(self) -> bool:
@@ -158,6 +162,8 @@ class PDRMonitor(UpdateListener):
             vanished_area=vanished,
             result=result,
             status="degraded" if result.degraded else "ok",
+            cache_hits=int(result.stats.extra.get("cache_hits", 0.0)),
+            cache_misses=int(result.stats.extra.get("cache_misses", 0.0)),
         )
         self.events.append(event)
         self._previous = result.regions

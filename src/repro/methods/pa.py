@@ -17,7 +17,7 @@ delta squares are baked into the coefficients); querying with a different
 from __future__ import annotations
 
 import time
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +27,7 @@ from ..core.errors import HorizonError, InvalidParameterError
 from ..core.geometry import Rect
 from ..core.query import QueryResult, QueryStats, SnapshotPDRQuery
 from ..motion.model import Motion
-from ..motion.updates import DeleteUpdate, InsertUpdate, UpdateListener
+from ..motion.updates import DeleteUpdate, InsertUpdate, ReportPair, UpdateListener
 
 __all__ = ["PAMethod"]
 
@@ -81,15 +81,20 @@ class PAMethod(UpdateListener):
         if tnow < self._tnow:
             raise InvalidParameterError(f"clock moved backwards to {tnow}")
         steps = tnow - self._tnow
+        if steps == 0:
+            return
         if steps >= self._slots:
             self._coeffs[:] = 0.0
-            for t in range(tnow, tnow + self._slots):
-                self._slot_time[t % self._slots] = t
+            ts = np.arange(tnow, tnow + self._slots, dtype=np.int64)
+            self._slot_time[ts % self._slots] = ts
         else:
-            for t_old in range(self._tnow, tnow):
-                slot = t_old % self._slots
-                self._coeffs[slot] = 0.0
-                self._slot_time[slot] = t_old + self._slots
+            # Expired slots are all distinct (steps < _slots): reset and
+            # relabel them in two vectorised writes, mirroring the density
+            # histogram's ring-buffer advance.
+            t_old = np.arange(self._tnow, tnow, dtype=np.int64)
+            slots = t_old % self._slots
+            self._coeffs[slots] = 0.0
+            self._slot_time[slots] = t_old + self._slots
         self._tnow = tnow
 
     # ------------------------------------------------------------------
@@ -102,11 +107,174 @@ class PAMethod(UpdateListener):
         motion = update.motion
         self._apply(motion, motion.t_ref, motion.t_ref + self.horizon, -1.0)
 
+    def on_insert_batch(self, updates: Sequence[InsertUpdate]) -> None:
+        self._apply_batch([(u.motion, u.tnow, +1.0) for u in updates])
+
+    def on_delete_batch(self, updates: Sequence[DeleteUpdate]) -> None:
+        self._apply_batch(
+            [(u.motion, u.motion.t_ref, -1.0) for u in updates]
+        )
+
+    def on_report_batch(self, pairs: Sequence[ReportPair]) -> None:
+        # Coefficient accumulation is float addition, which is not
+        # associative: to stay bit-identical to the sequential path the
+        # wave must apply delete_i, insert_i, delete_{i+1}, ... in the
+        # exact per-report interleaving — hence this override instead of
+        # the default all-deletes-then-all-inserts split.
+        jobs = []
+        for delete, insert in pairs:
+            if delete is not None:
+                jobs.append((delete.motion, delete.motion.t_ref, -1.0))
+            jobs.append((insert.motion, insert.tnow, +1.0))
+        self._apply_batch(jobs)
+
     def _apply(self, motion: Motion, t_from: int, t_to: int, sign: float) -> None:
+        rects = self._update_rects(motion, t_from, t_to)
+        if rects is None:
+            return
+        slots, ci, cj, rx1, rx2, ry1, ry2 = rects
+        deltas = delta_coefficients_batch(
+            self.spec.k, rx1, rx2, ry1, ry2, height=sign / (self.l * self.l)
+        )
+        np.add.at(self._coeffs, (slots, ci, cj), deltas)
+
+    # Rectangles per delta/scatter flush.  Large enough that the per-call
+    # trig/einsum overhead amortises away, small enough that the
+    # intermediate (M, k+1, k+1) arrays stay cache-resident instead of
+    # spilling — one unbounded pass over a big wave is *slower* than the
+    # scalar path.
+    _BATCH_RECTS = 16384
+
+    def _apply_batch(
+        self, jobs: Sequence[Tuple[Motion, int, float]]
+    ) -> None:
+        """Apply ``(motion, t_from, sign)`` updates in whole-wave numpy passes.
+
+        The (timestamp, tile, rectangle) expansion runs over the entire wave
+        at once — the batched analogue of :meth:`_update_rects` — and the
+        resulting rectangles are stably re-sorted into job order before the
+        chunked ``np.add.at`` flushes.  Within one job every rectangle hits
+        a distinct ``(slot, tile)`` coefficient cell (distinct timestamps
+        map to distinct slots, distinct tiles to distinct cells), so the
+        only accumulation order that matters per cell is *across* jobs; the
+        stable job sort preserves it exactly, making the result
+        bit-identical to calling :meth:`_apply` once per job.
+        """
+        n = len(jobs)
+        if n == 0:
+            return
+        t_ref = np.array([job[0].t_ref for job in jobs], dtype=float)
+        x0 = np.array([job[0].x for job in jobs])
+        y0 = np.array([job[0].y for job in jobs])
+        vx = np.array([job[0].vx for job in jobs])
+        vy = np.array([job[0].vy for job in jobs])
+        t_from = np.array([job[1] for job in jobs], dtype=np.int64)
+        sign = np.array([job[2] for job in jobs])
+
+        # (n, slots) trajectory grid — elementwise the same ``x + dt*vx``
+        # Motion.positions_at computes on the scalar path.
+        ts = np.arange(self._tnow, self._tnow + self._slots, dtype=np.int64)
+        dt = ts.astype(float)[None, :] - t_ref[:, None]
+        xs = x0[:, None] + dt * vx[:, None]
+        ys = y0[:, None] + dt * vy[:, None]
+        covered = (ts[None, :] >= np.maximum(t_from, self._tnow)[:, None]) & (
+            ts[None, :]
+            <= np.minimum(t_from + self.horizon, self._tnow + self.horizon)[:, None]
+        )
+        dom = self.spec.domain
+        half = self.l / 2.0
+        sx1 = np.maximum(xs - half, dom.x1)
+        sx2 = np.minimum(xs + half, dom.x2)
+        sy1 = np.maximum(ys - half, dom.y1)
+        sy2 = np.minimum(ys + half, dom.y2)
+        in_domain = (
+            (xs >= dom.x1) & (xs < dom.x2) & (ys >= dom.y1) & (ys < dom.y2)
+        )
+        nonempty = covered & (sx2 > sx1) & (sy2 > sy1) & in_domain
+        if not nonempty.any():
+            return
+        job_idx, t_idx = np.nonzero(nonempty)
+        ts_f = ts[t_idx]
+        sx1, sx2, sy1, sy2 = (
+            sx1[nonempty],
+            sx2[nonempty],
+            sy1[nonempty],
+            sy2[nonempty],
+        )
+
+        cw = self.spec.cell_width
+        ch = self.spec.cell_height
+        g = self.spec.g
+        tiny = 1e-12
+        ci0 = np.clip(((sx1 - dom.x1) / cw).astype(np.int64), 0, g - 1)
+        ci1 = np.clip(((sx2 - dom.x1) / cw - tiny).astype(np.int64), 0, g - 1)
+        cj0 = np.clip(((sy1 - dom.y1) / ch).astype(np.int64), 0, g - 1)
+        cj1 = np.clip(((sy2 - dom.y1) / ch - tiny).astype(np.int64), 0, g - 1)
+
+        # Expand variable-size tile spans into flat (job, timestamp, tile)
+        # rectangles in one repeat pass.  ``job_idx`` from np.nonzero is
+        # row-major, so the expansion comes out job-major with no sort;
+        # within one job the tile visit order differs from the scalar
+        # path's, which is immaterial because a job's rectangles all hit
+        # distinct coefficient cells.
+        ci_span = ci1 - ci0 + 1
+        cj_span = cj1 - cj0 + 1
+        counts = ci_span * cj_span
+        rect_of = np.repeat(np.arange(counts.shape[0]), counts)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        offset = np.arange(rect_of.shape[0]) - starts[rect_of]
+        span = cj_span[rect_of]
+        di = offset // span
+        dj = offset - di * span
+        ci = ci0[rect_of] + di
+        cj = cj0[rect_of] + dj
+        tile_x1 = dom.x1 + ci * cw
+        tile_y1 = dom.y1 + cj * ch
+        ox1 = np.maximum(sx1[rect_of], tile_x1)
+        ox2 = np.minimum(sx2[rect_of], tile_x1 + cw)
+        oy1 = np.maximum(sy1[rect_of], tile_y1)
+        oy2 = np.minimum(sy2[rect_of], tile_y1 + ch)
+        slots = ts_f[rect_of] % self._slots
+        rx1 = 2.0 * (ox1 - tile_x1) / cw - 1.0
+        rx2 = 2.0 * (ox2 - tile_x1) / cw - 1.0
+        ry1 = 2.0 * (oy1 - tile_y1) / ch - 1.0
+        ry2 = 2.0 * (oy2 - tile_y1) / ch - 1.0
+        heights = sign[job_idx[rect_of]] / (self.l * self.l)
+
+        # Scatter through a flat 1-D view: np.add.at on linear indices is
+        # several times faster than the equivalent N-D fancy index, and the
+        # element addition order (rect order, then the 36 distinct
+        # coefficient positions within a rect) is unchanged.
+        kk = self.spec.k + 1
+        base = ((slots * g + ci) * g + cj) * (kk * kk)
+        offsets = np.arange(kk * kk, dtype=np.int64)
+        flat = self._coeffs.reshape(-1)
+        total = slots.shape[0]
+        for start in range(0, total, self._BATCH_RECTS):
+            end = min(start + self._BATCH_RECTS, total)
+            deltas = delta_coefficients_batch(
+                self.spec.k,
+                rx1[start:end],
+                rx2[start:end],
+                ry1[start:end],
+                ry2[start:end],
+                height=heights[start:end],
+            )
+            idx = (base[start:end, None] + offsets[None, :]).reshape(-1)
+            np.add.at(flat, idx, deltas.reshape(-1))
+
+    def _update_rects(
+        self, motion: Motion, t_from: int, t_to: int
+    ) -> Optional[Tuple[np.ndarray, ...]]:
+        """The (slot, tile, normalized-rect) pairs one update touches.
+
+        Returns ``(slots, ci, cj, rx1, rx2, ry1, ry2)`` arrays, or ``None``
+        when the update covers nothing inside the window and domain.
+        """
         lo = max(t_from, self._tnow)
         hi = min(t_to, self._tnow + self.horizon)
         if hi < lo:
-            return
+            return None
         ts = np.arange(lo, hi + 1, dtype=np.int64)
         xs, ys = motion.positions_at(ts)
         half = self.l / 2.0
@@ -125,7 +293,7 @@ class PAMethod(UpdateListener):
         )
         nonempty = (sx2 > sx1) & (sy2 > sy1) & in_domain
         if not nonempty.any():
-            return
+            return None
         ts, sx1, sx2, sy1, sy2 = (
             ts[nonempty],
             sx1[nonempty],
@@ -171,18 +339,15 @@ class PAMethod(UpdateListener):
                 rx2_l.append(2.0 * (ox2 - tile_x1) / cw - 1.0)
                 ry1_l.append(2.0 * (oy1 - tile_y1) / ch - 1.0)
                 ry2_l.append(2.0 * (oy2 - tile_y1) / ch - 1.0)
-        slots = np.concatenate(slot_l)
-        ci = np.concatenate(ci_l)
-        cj = np.concatenate(cj_l)
-        deltas = delta_coefficients_batch(
-            self.spec.k,
+        return (
+            np.concatenate(slot_l),
+            np.concatenate(ci_l),
+            np.concatenate(cj_l),
             np.concatenate(rx1_l),
             np.concatenate(rx2_l),
             np.concatenate(ry1_l),
             np.concatenate(ry2_l),
-            height=sign / (self.l * self.l),
         )
-        np.add.at(self._coeffs, (slots, ci, cj), deltas)
 
     # ------------------------------------------------------------------
     # persistence
@@ -203,7 +368,9 @@ class PAMethod(UpdateListener):
                 f"snapshot shape {coeffs.shape} does not match PA state "
                 f"{self._coeffs.shape}"
             )
-        self._coeffs = coeffs
+        # Contiguity matters: the batched scatter writes through a flat
+        # reshape(-1) view, which only aliases contiguous storage.
+        self._coeffs = np.ascontiguousarray(coeffs)
         self._slot_time = np.asarray(state["slot_time"], dtype=np.int64)
         self._tnow = int(state["tnow"])
 

@@ -9,11 +9,17 @@ approximators, the TPR-tree, ...).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import InvalidParameterError, QueryError
 from .model import Motion
-from .updates import DeleteUpdate, InsertUpdate, UpdateListener, dispatch
+from .updates import (
+    DeleteUpdate,
+    InsertUpdate,
+    ReportPair,
+    UpdateListener,
+    dispatch,
+)
 
 __all__ = ["ObjectTable"]
 
@@ -86,6 +92,57 @@ class ObjectTable:
                 failures=failures,
             )
         return new_motion
+
+    def report_batch(
+        self, reports: Sequence[Tuple[int, float, float, float, float]]
+    ) -> List[Motion]:
+        """Process a wave of position reports in batched listener dispatches.
+
+        ``reports`` is a sequence of ``(oid, x, y, vx, vy)`` tuples, all
+        effective at the current time.  Listeners receive the wave through
+        ``on_report_batch`` (one dispatch per wave instead of two per
+        report); an oid reported more than once splits the input into
+        consecutive waves so every wave retracts at most one motion per
+        object, preserving the sequential delete+insert semantics exactly.
+        """
+        from ..core.errors import ListenerFanoutError
+
+        results: List[Motion] = []
+        failures = []
+        wave: List[ReportPair] = []
+        seen_in_wave = set()
+
+        def flush() -> None:
+            if not wave:
+                return
+            pairs = list(wave)
+            wave.clear()
+            seen_in_wave.clear()
+            try:
+                dispatch(self._listeners, "on_report_batch", pairs)
+            except ListenerFanoutError as exc:
+                failures.extend(exc.failures)
+
+        for oid, x, y, vx, vy in reports:
+            if oid in seen_in_wave:
+                flush()
+            new_motion = Motion(oid, self._tnow, x, y, vx, vy)
+            old_motion = self._motions.get(oid)
+            delete = (
+                DeleteUpdate(self._tnow, old_motion) if old_motion is not None else None
+            )
+            self._motions[oid] = new_motion
+            wave.append((delete, InsertUpdate(self._tnow, new_motion)))
+            seen_in_wave.add(oid)
+            results.append(new_motion)
+        flush()
+        if failures:
+            raise ListenerFanoutError(
+                f"{len(failures)} listener failure(s) while reporting a batch "
+                f"of {len(results)} object(s)",
+                failures=failures,
+            )
+        return results
 
     def retire(self, oid: int) -> None:
         """Remove ``oid`` permanently (e.g. a vehicle leaving the region)."""

@@ -16,7 +16,7 @@ TPR-tree) subscribes to the same stream through :class:`UpdateListener`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
 from ..core.errors import ListenerFanoutError
 from .model import Motion
@@ -25,6 +25,7 @@ __all__ = [
     "InsertUpdate",
     "DeleteUpdate",
     "Update",
+    "ReportPair",
     "UpdateListener",
     "dispatch",
 ]
@@ -48,12 +49,21 @@ class DeleteUpdate:
 
 Update = Union[InsertUpdate, DeleteUpdate]
 
+# One report of a wave: the retraction of the object's previous motion (or
+# ``None`` for a first report) paired with the insertion of the new one.
+ReportPair = Tuple[Optional[DeleteUpdate], InsertUpdate]
+
 
 class UpdateListener:
     """Interface for structures maintained against the update stream.
 
     Subclasses override the hooks they care about; defaults are no-ops so a
     listener may observe only inserts, only deletes, or only clock advances.
+
+    The ``*_batch`` hooks let a listener process a whole report wave at
+    once (one numpy pass instead of N Python dispatches); their defaults
+    fall back to the per-object hooks, so a listener that never heard of
+    batching still sees every update exactly once, in order.
     """
 
     def on_insert(self, update: InsertUpdate) -> None:  # noqa: B027 - optional hook
@@ -64,6 +74,30 @@ class UpdateListener:
 
     def on_advance(self, tnow: int) -> None:  # noqa: B027 - optional hook
         """Called when the server clock moves forward to ``tnow``."""
+
+    def on_insert_batch(self, updates: Sequence[InsertUpdate]) -> None:
+        """Called with a wave of insertions; default is the per-object loop."""
+        for update in updates:
+            self.on_insert(update)
+
+    def on_delete_batch(self, updates: Sequence[DeleteUpdate]) -> None:
+        """Called with a wave of deletions; default is the per-object loop."""
+        for update in updates:
+            self.on_delete(update)
+
+    def on_report_batch(self, pairs: Sequence[ReportPair]) -> None:
+        """Called with a whole report wave (each oid at most once per wave).
+
+        The default retracts every superseded motion, then registers every
+        new one — a wave-atomic rendering of Section 5.1's delete+insert
+        protocol.  Listeners whose state is order-sensitive at float
+        precision (the PA coefficients) override this to keep the exact
+        per-report interleaving.
+        """
+        deletes = [d for d, _ in pairs if d is not None]
+        if deletes:
+            self.on_delete_batch(deletes)
+        self.on_insert_batch([i for _, i in pairs])
 
 
 def dispatch(listeners: Iterable[UpdateListener], hook: str, payload) -> None:

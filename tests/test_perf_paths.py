@@ -1,0 +1,356 @@
+"""Equivalence suites for the PR-4 fast paths.
+
+Three families of properties:
+
+* the vectorised 1-D sweep and X-driver are **bit-identical** to the
+  reference event-loop implementations (same floats, ``==`` on every bound);
+* a :meth:`PDRServer.report_batch` wave leaves every maintained structure —
+  histogram counters, PA coefficients, tree contents, WAL — in exactly the
+  state the same reports produce sequentially, and recovery from the
+  group-committed WAL reproduces it bit-for-bit;
+* the timestamp-keyed caches return the same arrays as cold computation and
+  invalidate on every mutation epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PDRServer
+from repro.core.geometry import Rect
+from repro.histogram.density_histogram import DensityHistogram
+from repro.reliability.recovery import UpdateLog
+from repro.reliability.validation import ReliabilityConfig
+from repro.sweep.plane_sweep import (
+    dense_segments_1d,
+    dense_segments_1d_reference,
+    refine_cell,
+    refine_cell_reference,
+)
+
+from .conftest import small_system_config
+
+finite = st.floats(
+    min_value=-50.0, max_value=150.0, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# vectorised sweep == reference sweep, bit for bit
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    coords=st.lists(finite, min_size=0, max_size=40),
+    half=st.floats(min_value=0.05, max_value=20.0),
+    bounds=st.tuples(finite, finite),
+    min_count=st.floats(min_value=0.0, max_value=12.0),
+    duplicate=st.booleans(),
+)
+def test_dense_segments_matches_reference(coords, half, bounds, min_count, duplicate):
+    if duplicate and len(coords) >= 2:
+        coords[1] = coords[0]  # exercise exact event ties
+    lo, hi = min(bounds), max(bounds)
+    arr = np.asarray(coords, dtype=float)
+    fast = dense_segments_1d(arr, half, lo, hi, min_count)
+    ref = dense_segments_1d_reference(arr, half, lo, hi, min_count)
+    assert fast == ref  # tuple float equality: bit-identical bounds
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    points=st.lists(st.tuples(finite, finite), min_size=0, max_size=50),
+    l=st.floats(min_value=0.5, max_value=30.0),
+    min_count=st.floats(min_value=0.0, max_value=8.0),
+    duplicate=st.booleans(),
+)
+def test_refine_cell_matches_reference(points, l, min_count, duplicate):
+    if duplicate and len(points) >= 2:
+        points[1] = points[0]
+    cell = Rect(10.0, 5.0, 90.0, 85.0)
+    fast = refine_cell(points, cell, l, min_count)
+    ref = refine_cell_reference(points, cell, l, min_count)
+    assert list(fast) == list(ref)
+
+
+def test_sweep_edge_cases_match_reference():
+    for coords, half, lo, hi, mc in [
+        ([], 1.0, 0.0, 10.0, 0.0),
+        ([], 1.0, 0.0, 10.0, 1.0),
+        ([5.0], 1.0, 10.0, 10.0, 0.0),  # empty span
+        ([5.0, 5.0, 5.0], 2.0, 0.0, 10.0, 3.0),  # all ties
+        ([0.0, 10.0], 5.0, 0.0, 10.0, 1.0),  # events at the boundary
+    ]:
+        arr = np.asarray(coords, dtype=float)
+        assert dense_segments_1d(arr, half, lo, hi, mc) == (
+            dense_segments_1d_reference(arr, half, lo, hi, mc)
+        )
+
+
+# ----------------------------------------------------------------------
+# batched ingest == sequential ingest, structure by structure
+# ----------------------------------------------------------------------
+def _wave(rng, n, oid_base=0, domain=100.0):
+    return [
+        (
+            oid_base + i,
+            float(rng.uniform(1.0, domain - 1.0)),
+            float(rng.uniform(1.0, domain - 1.0)),
+            float(rng.uniform(-0.5, 0.5)),
+            float(rng.uniform(-0.5, 0.5)),
+        )
+        for i in range(n)
+    ]
+
+
+def _drive(server, waves, batched):
+    for advance, wave in waves:
+        if advance:
+            server.advance_to(server.tnow + advance)
+        if batched:
+            server.report_batch(wave)
+        else:
+            for report in wave:
+                server.report(*report)
+
+
+def _tree_contents(server):
+    return sorted(
+        (m.oid, m.t_ref, m.x, m.y, m.vx, m.vy) for m in server.tree.all_motions()
+    )
+
+
+@pytest.fixture
+def report_waves():
+    rng = np.random.default_rng(42)
+    first = _wave(rng, 40)
+    rereport = _wave(rng, 40)
+    # A duplicate oid inside one batch forces the wave-splitting path.
+    rereport.append((7, 50.0, 50.0, 0.1, 0.1))
+    later = _wave(rng, 30, oid_base=20)
+    return [(0, first), (0, rereport), (2, later)]
+
+
+def test_report_batch_states_bit_identical(report_waves):
+    sequential = PDRServer(small_system_config(), expected_objects=200)
+    batched = PDRServer(small_system_config(), expected_objects=200)
+    _drive(sequential, report_waves, batched=False)
+    _drive(batched, report_waves, batched=True)
+
+    # Histogram counters are integers: exact equality, slot labels included.
+    assert np.array_equal(
+        sequential.histogram._counts, batched.histogram._counts
+    )
+    assert np.array_equal(
+        sequential.histogram._slot_time, batched.histogram._slot_time
+    )
+    # PA coefficients are floats: the batched path preserves the exact
+    # per-report interleaving, so equality is bitwise, not approximate.
+    assert np.array_equal(sequential.pa._coeffs, batched.pa._coeffs)
+    assert np.array_equal(sequential.pa._slot_time, batched.pa._slot_time)
+    # The tree's contract is its contents plus structural invariants; the
+    # Z-order bulk insert may shape the tree differently.
+    batched.tree.validate()
+    assert _tree_contents(sequential) == _tree_contents(batched)
+    # Queries agree as answer sets.
+    for method in ("fr", "pa", "dh-optimistic", "bruteforce"):
+        a = sequential.query(method, qt=sequential.tnow + 1, rho=0.05)
+        b = batched.query(method, qt=batched.tnow + 1, rho=0.05)
+        assert set(a.regions) == set(b.regions)
+
+
+def test_report_batch_results_align_with_input(report_waves):
+    server = PDRServer(small_system_config(), expected_objects=200)
+    wave = report_waves[0][1]
+    results = server.report_batch(wave)
+    assert len(results) == len(wave)
+    for (oid, x, y, _vx, _vy), motion in zip(wave, results):
+        assert motion is not None
+        assert (motion.oid, motion.x, motion.y) == (oid, x, y)
+
+
+def test_report_batch_rejects_like_sequential():
+    config = small_system_config()
+    sequential = PDRServer(config, expected_objects=50)
+    batched = PDRServer(config, expected_objects=50)
+    wave = [
+        (0, 10.0, 10.0, 0.0, 0.0),
+        (1, -5.0, 10.0, 0.0, 0.0),  # out of domain: rejected
+        (2, 20.0, 20.0, float("nan"), 0.0),  # malformed: rejected
+        (3, 30.0, 30.0, 0.1, 0.1),
+    ]
+    seq_results = [sequential.report(*r) for r in wave]
+    batch_results = batched.report_batch(wave)
+    assert [m is None for m in seq_results] == [m is None for m in batch_results]
+    assert sequential.dead_letters.total == batched.dead_letters.total == 2
+    assert dict(sequential.dead_letters.counts) == dict(batched.dead_letters.counts)
+    assert np.array_equal(sequential.histogram._counts, batched.histogram._counts)
+
+
+def test_report_batch_wal_recovery_bit_identical(tmp_path, report_waves):
+    state_dir = str(tmp_path / "state")
+    live = PDRServer(
+        small_system_config(),
+        expected_objects=200,
+        reliability=ReliabilityConfig(state_dir=state_dir),
+    )
+    _drive(live, report_waves, batched=True)
+    live.close()
+
+    recovered = PDRServer.recover(state_dir)
+    try:
+        assert recovered.tnow == live.tnow
+        assert len(recovered.table) == len(live.table)
+        assert np.array_equal(recovered.histogram._counts, live.histogram._counts)
+        # Replay applies records sequentially; the batched live path must
+        # therefore be bit-identical to sequential application for the
+        # recovered floats to match exactly.
+        assert np.array_equal(recovered.pa._coeffs, live.pa._coeffs)
+        assert _tree_contents(recovered) == _tree_contents(live)
+    finally:
+        recovered.close()
+
+
+def test_update_log_group_commit_bytes_identical(tmp_path):
+    records = [
+        {"op": "report", "t": 0, "oid": i, "x": 1.5 * i, "y": 2.0, "vx": 0.1, "vy": -0.2, "lsn": i + 1}
+        for i in range(5)
+    ]
+    one_path = str(tmp_path / "one.jsonl")
+    many_path = str(tmp_path / "many.jsonl")
+    one = UpdateLog(one_path, fsync=False)
+    for record in records:
+        one.append(dict(record))
+    one.close()
+    many = UpdateLog(many_path, fsync=False)
+    many.append_many([dict(r) for r in records])
+    many.close()
+    with open(one_path, "rb") as fh:
+        sequential_bytes = fh.read()
+    with open(many_path, "rb") as fh:
+        batched_bytes = fh.read()
+    assert sequential_bytes == batched_bytes
+    assert UpdateLog.read_records(many_path) == records
+
+
+def test_timed_listener_forwards_batches():
+    """The server wraps histogram/PA in TimedListener; if the wrapper fell
+    back to per-object forwarding, batching would silently vanish and the
+    per-update counts would drift from the sequential path."""
+
+    class Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def on_report_batch(self, pairs):
+            self.calls.append(("report_batch", len(pairs)))
+
+        def on_insert(self, update):  # pragma: no cover - must not be hit
+            raise AssertionError("batch was unbatched")
+
+        def on_insert_batch(self, updates):
+            self.calls.append(("insert_batch", len(updates)))
+
+        def on_delete_batch(self, updates):
+            self.calls.append(("delete_batch", len(updates)))
+
+        def on_delete(self, update):  # pragma: no cover - must not be hit
+            raise AssertionError("batch was unbatched")
+
+        def on_advance(self, tnow):
+            pass
+
+    from repro.metrics.instrument import TimedListener
+    from repro.motion.model import Motion
+    from repro.motion.updates import DeleteUpdate, InsertUpdate
+
+    inner = Recorder()
+    timed = TimedListener(inner)
+    inserts = [InsertUpdate(0, Motion(i, 0, 1.0 * i, 2.0, 0.0, 0.0)) for i in range(4)]
+    deletes = [DeleteUpdate(1, u.motion) for u in inserts[:2]]
+    timed.on_insert_batch(inserts)
+    timed.on_delete_batch(deletes)
+    timed.on_report_batch([(deletes[0], inserts[0]), (None, inserts[1])])
+    assert inner.calls == [
+        ("insert_batch", 4),
+        ("delete_batch", 2),
+        ("report_batch", 2),
+    ]
+    # One delete + two inserts in the report wave, plus 4 + 2 before it.
+    assert timed.timer.updates == 4 + 2 + 3
+
+
+# ----------------------------------------------------------------------
+# timestamp-keyed caches
+# ----------------------------------------------------------------------
+def test_prefix_cache_hits_and_invalidates(populated_server):
+    server = populated_server
+    hist = server.histogram
+    qt = server.tnow + 1
+    cold = hist.prefix_sums(qt).copy()
+    misses0 = hist.cache_misses
+    again = hist.prefix_sums(qt)
+    assert hist.cache_misses == misses0  # pure hit
+    assert np.array_equal(cold, again)
+    # Any counter mutation invalidates via the epoch counter.
+    server.report(9999, 50.0, 50.0, 0.0, 0.0)
+    refreshed = hist.prefix_sums(qt)
+    assert hist.cache_misses == misses0 + 1
+    expected = np.zeros((hist.m + 1, hist.m + 1), dtype=np.int64)
+    expected[1:, 1:] = (
+        hist.counts_at(qt).astype(np.int64).cumsum(axis=0).cumsum(axis=1)
+    )
+    assert np.array_equal(refreshed, expected)
+
+
+def test_block_sums_at_matches_cold_computation(populated_server):
+    hist = populated_server.histogram
+    qt = populated_server.tnow
+    for radius in (0, 1, 2):
+        cached = hist.block_sums_at(qt, radius)
+        cold = DensityHistogram.block_sums(hist.prefix_sums(qt), radius)
+        assert np.array_equal(cached, cold)
+    hits0 = hist.cache_hits
+    hist.block_sums_at(qt, 1)
+    assert hist.cache_hits == hits0 + 1
+
+
+def test_cache_invalidates_on_advance(populated_server):
+    server = populated_server
+    hist = server.histogram
+    qt = server.tnow + 2
+    hist.block_sums_at(qt, 1)
+    server.advance_to(server.tnow + 1)
+    misses0 = hist.cache_misses
+    hist.block_sums_at(qt, 1)
+    assert hist.cache_misses > misses0  # advance wiped the cache
+
+
+def test_fr_stage_timings_and_cache_counters(populated_server):
+    server = populated_server
+    qt = server.tnow + 1
+    first = server.query("fr", qt=qt, rho=0.05)
+    extra = first.stats.extra
+    for key in ("filter_seconds", "fetch_seconds", "sweep_seconds"):
+        assert key in extra and extra[key] >= 0.0
+    assert extra["cache_misses"] >= 1.0  # cold caches
+    second = server.query("fr", qt=qt, rho=0.05)
+    assert second.stats.extra["cache_hits"] >= 1.0  # warm caches
+    assert set(first.regions) == set(second.regions)
+    report = server.reliability_report()
+    assert report["query_cache_hits"] >= 1
+    assert report["histogram_cache"]["hits"] >= 1
+    assert set(report["query_stage_seconds"]) == {"filter", "fetch", "sweep"}
+
+
+def test_monitor_events_carry_cache_hits(populated_server):
+    from repro.methods.monitor import PDRMonitor
+
+    server = populated_server
+    monitor = PDRMonitor(server, offset=1, method="fr", rho=0.05)
+    first = monitor.poll()
+    second = monitor.poll()  # no update in between: the filter hits cache
+    assert first.cache_misses >= 1
+    assert second.cache_hits >= 1
