@@ -1,7 +1,7 @@
-"""Regression-gated performance benchmark for the PR-4 fast paths.
+"""Regression-gated performance benchmark for the fast paths.
 
 Measures the batch execution engine against its per-object / reference
-twins and emits a ``BENCH_pr4.json`` trajectory file:
+twins and emits a ``BENCH_pr5.json`` trajectory file:
 
 * **batch ingest** — ``PDRServer.report_batch`` vs per-report ingest, both
   in-memory and on a durable (WAL + fsync) server, in reports/second;
@@ -9,7 +9,11 @@ twins and emits a ``BENCH_pr4.json`` trajectory file:
 * **sweep refine** — vectorized ``refine_cell`` vs the reference
   event-loop oracle, in refine calls/second;
 * **cached vs cold filter** — ``DensityHistogram.prefix_sums`` with a warm
-  timestamp-keyed cache vs a cold (invalidated) one.
+  timestamp-keyed cache vs a cold (invalidated) one;
+* **telemetry overhead** — the same ingest+query workload with the
+  telemetry layer enabled vs disabled.  This one is gated by an
+  *absolute* floor: enabled throughput must stay within 5% of disabled
+  (ratio >= 0.95), the observability layer's cheap-by-default contract.
 
 The regression gate compares **speedup ratios** (batch vs sequential,
 vectorized vs reference, cached vs cold) against a checked-in baseline and
@@ -51,6 +55,9 @@ from repro.sweep.plane_sweep import refine_cell, refine_cell_reference
 
 GATED_RATIOS = ("ingest_speedup_memory", "sweep_speedup", "filter_cache_speedup")
 TOLERANCE = 0.25
+# Absolute floor for telemetry_overhead_ratio (enabled / disabled
+# throughput): enabled telemetry may cost at most 5%.
+TELEMETRY_FLOOR = 0.95
 
 MODES = {
     # n_objects, n_queries, sweep objects, (vectorized, reference) sweep reps,
@@ -202,6 +209,33 @@ def bench_filter_cache(n):
     return 1.0 / t_cold, 1.0 / t_warm
 
 
+def bench_telemetry_overhead(reports, n_queries, reps):
+    """Enabled-vs-disabled throughput of a mixed ingest+query workload."""
+    from repro.telemetry import TELEMETRY
+
+    units = len(reports) + n_queries
+
+    def workload():
+        server = PDRServer(SystemConfig())
+        server.report_batch(reports)
+        horizon = server.config.prediction_window
+        for q in range(n_queries):
+            server.query("fr", qt=q % (horizon + 1), l=30.0, varrho=2.0)
+
+    was_enabled = TELEMETRY.enabled
+    try:
+        TELEMETRY.enable()
+        workload()  # warm caches with instrumentation live
+        t_enabled = _best_of(workload, reps)
+        TELEMETRY.disable()
+        workload()
+        t_disabled = _best_of(workload, reps)
+    finally:
+        (TELEMETRY.enable if was_enabled else TELEMETRY.disable)()
+        TELEMETRY.reset()
+    return units / t_enabled, units / t_disabled
+
+
 def run_suite(mode):
     params = MODES[mode]
     reports = make_reports(params["n"])
@@ -212,12 +246,15 @@ def run_suite(mode):
     fr_ops, pa_ops = bench_queries(reports, params["queries"])
     vec_ops, ref_ops = bench_sweep(params["sweep_n"], params["sweep_reps"])
     cold_ops, warm_ops = bench_filter_cache(params["n"])
+    tel_on_ops, tel_off_ops = bench_telemetry_overhead(
+        reports, params["queries"], max(5, params["reps"])
+    )
 
     def entry(ops):
         return {"ops_per_sec": round(ops, 2), "normalized": round(ops / cal, 6)}
 
     return {
-        "bench": "pr4_perf_gate",
+        "bench": "pr5_perf_gate",
         "mode": mode,
         "profile": {
             "n_objects": params["n"],
@@ -240,8 +277,15 @@ def run_suite(mode):
             "filter_cold": entry(cold_ops),
             "filter_cached": entry(warm_ops),
             "filter_cache_speedup": round(warm_ops / cold_ops, 3),
+            "telemetry_enabled": entry(tel_on_ops),
+            "telemetry_disabled": entry(tel_off_ops),
+            "telemetry_overhead_ratio": round(tel_on_ops / tel_off_ops, 3),
         },
-        "gate": {"tolerance": TOLERANCE, "ratios": list(GATED_RATIOS)},
+        "gate": {
+            "tolerance": TOLERANCE,
+            "ratios": list(GATED_RATIOS),
+            "telemetry_floor": TELEMETRY_FLOOR,
+        },
     }
 
 
@@ -269,10 +313,21 @@ def apply_gate(result, baseline_path):
     return ok
 
 
+def apply_telemetry_gate(result):
+    """Absolute floor: enabled telemetry may cost at most 5% throughput."""
+    ratio = result["metrics"]["telemetry_overhead_ratio"]
+    status = "ok" if ratio >= TELEMETRY_FLOOR else "REGRESSION"
+    print(
+        f"perf_gate: telemetry_overhead_ratio: {ratio:.3f} "
+        f"(floor {TELEMETRY_FLOOR:.2f}, absolute) {status}"
+    )
+    return ratio >= TELEMETRY_FLOOR
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode", choices=sorted(MODES), default="full")
-    parser.add_argument("--out", default="BENCH_pr4.json")
+    parser.add_argument("--out", default="BENCH_pr5.json")
     parser.add_argument(
         "--baseline",
         default=os.path.join(os.path.dirname(__file__), "perf_baseline.json"),
@@ -295,6 +350,7 @@ def main(argv=None):
         "ingest_speedup_durable",
         "sweep_speedup",
         "filter_cache_speedup",
+        "telemetry_overhead_ratio",
     ):
         print(f"perf_gate: {key} = {result['metrics'][key]}x")
 
@@ -306,7 +362,9 @@ def main(argv=None):
         return 0
     if args.no_gate:
         return 0
-    return 0 if apply_gate(result, args.baseline) else 1
+    ok = apply_gate(result, args.baseline)
+    ok = apply_telemetry_gate(result) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -10,6 +10,27 @@ Three subcommands cover the typical downstream workflow::
 ``simulate`` builds a road-network workload, warms a full server and
 serialises its state; ``query`` restores the server and evaluates a snapshot
 PDR query with any method, optionally rendering the dense regions as ASCII.
+
+``metrics`` exposes the telemetry layer: with no arguments it runs a small
+seeded probe workload (ingest waves, every query method, WAL appends,
+replication, admission sheds) and renders the resulting registry in the
+Prometheus text format; ``--from`` renders a snapshot saved by an earlier
+``simulate``/``query`` run's ``--metrics-out`` instead.
+
+Exit codes (stable; scripts may rely on them):
+
+======  =========================================================
+0       success (including ``metrics``, ``report``, clean ``verify``)
+1       any other :class:`~repro.core.errors.ReproError`
+2       invalid parameters (bad method, bad thresholds, bad roles)
+3       storage failures (snapshot/WAL/metrics-snapshot I/O, ``OSError``)
+4       query evaluation failures
+5       index integrity failures
+6       data-generation failures
+7       replication/serving failures (staleness, failover exhaustion)
+8       integrity damage (``verify`` found checksum-failing artifacts)
+9       chaos invariant-oracle violation (``chaos``; finding, not error)
+======  =========================================================
 """
 
 from __future__ import annotations
@@ -74,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--network-grid", type=int, default=30,
                      help="road-network intersections per side")
     sim.add_argument("--out", required=True, help="output snapshot path (.npz)")
+    sim.add_argument("--metrics-out", default=None,
+                     help="also save a telemetry snapshot (JSON) here, "
+                          "renderable later with `repro metrics --from`")
 
     query = sub.add_parser("query", help="evaluate a snapshot PDR query")
     query.add_argument("--snapshot", required=True, help="snapshot produced by simulate")
@@ -103,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--reliability-report", action="store_true",
                        help="print the reliability counters (dead-letter, "
                             "degradations, replication) as JSON on stderr")
+    query.add_argument("--metrics-out", default=None,
+                       help="save a telemetry snapshot (JSON) of this run, "
+                            "renderable later with `repro metrics --from`")
 
     peaks = sub.add_parser("peaks", help="report the k densest locations")
     peaks.add_argument("--snapshot", required=True, help="snapshot produced by simulate")
@@ -155,6 +182,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on failure, skip shrinking to a minimal reproducer")
     chaos.add_argument("--repro-out", default=None,
                        help="on failure, write the reproducer JSON here")
+
+    met = sub.add_parser(
+        "metrics",
+        help="render the telemetry registry (Prometheus text or JSON); "
+             "runs a seeded probe workload unless --from gives a snapshot",
+    )
+    met.add_argument("--from", dest="from_path", default=None,
+                     help="render a telemetry snapshot saved with "
+                          "--metrics-out instead of running the probe")
+    met.add_argument("--format", choices=["prometheus", "json"],
+                     default="prometheus", help="output format")
+    met.add_argument("--out", default=None,
+                     help="write the rendering here instead of stdout")
+    met.add_argument("--seed", type=int, default=7, help="probe workload seed")
+    met.add_argument("--serve", type=int, default=None, metavar="PORT",
+                     help="after rendering, serve /metrics and /metrics.json "
+                          "on this port until interrupted (0 = ephemeral)")
     return parser
 
 
@@ -338,6 +382,134 @@ def _cmd_chaos(args) -> int:
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def _probe_workload(seed: int = 7, objects: int = 48) -> None:
+    """A tiny seeded workload that exercises every required metric family.
+
+    Durable primary (WAL appends + fsyncs), batched ingest with a wave
+    split and a rejected report, one replica behind a link (lag gauges),
+    admission control starved down to sheds, and one query per ladder
+    method (stage histograms + prefix/block-sum cache traffic).  Runs in
+    a throwaway state directory.
+    """
+    import random
+    import shutil
+    import tempfile
+
+    from .core.errors import AdmissionRejectedError
+    from .reliability.admission import AdmissionConfig
+    from .reliability.replication import ReplicationConfig, ReplicationGroup
+    from .reliability.validation import ReliabilityConfig
+
+    rng = random.Random(seed)
+    workdir = tempfile.mkdtemp(prefix="repro-metrics-")
+    try:
+        config = SystemConfig()
+        primary = PDRServer(
+            config,
+            expected_objects=objects,
+            reliability=ReliabilityConfig(
+                state_dir=workdir + "/state", fsync=True
+            ),
+        )
+        domain = config.domain
+        batch = [
+            (
+                oid,
+                rng.uniform(domain.x1, domain.x2),
+                rng.uniform(domain.y1, domain.y2),
+                rng.uniform(-1.0, 1.0),
+                rng.uniform(-1.0, 1.0),
+            )
+            for oid in range(objects)
+        ]
+        batch.append((0, domain.x1 + 1.0, domain.y1 + 1.0, 0.0, 0.0))  # wave split
+        primary.report_batch(batch)
+        primary.report(1, float("nan"), 0.0, 0.0, 0.0)  # rejected -> dead letter
+        group = ReplicationGroup(
+            primary,
+            n_replicas=1,
+            config=ReplicationConfig(staleness_bound=1_000_000),
+            admission=AdmissionConfig(rate=0.001, burst=16.0),
+        )
+        group.advance_to(1)
+        qt = group.tnow + 1
+        sheds = 0
+        for method in ("fr", "pa", "dh-optimistic", "fr", "fr", "fr", "fr", "fr"):
+            try:
+                group.query(method, qt=qt, varrho=1.5)
+            except AdmissionRejectedError:
+                sheds += 1
+        if sheds == 0:  # the bucket refilled faster than we drained it
+            group.admission.bucket.tokens = 0.0
+            try:
+                group.query("fr", qt=qt, varrho=1.5)
+            except AdmissionRejectedError:
+                pass
+        group.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _cmd_metrics(args) -> int:
+    from .telemetry import (
+        TELEMETRY,
+        load_snapshot,
+        render_json,
+        render_prometheus,
+        serve_metrics,
+    )
+
+    if args.from_path is not None:
+        try:
+            snapshot = load_snapshot(args.from_path)
+        except ValueError as exc:  # malformed JSON maps to a storage failure
+            raise StorageError(
+                f"unreadable telemetry snapshot {args.from_path!r}: {exc}"
+            ) from exc
+        slow = snapshot.get("slow_queries")
+    else:
+        _probe_workload(seed=args.seed)
+        snapshot = TELEMETRY.registry.snapshot()
+        slow = TELEMETRY.slow_queries.to_dict()
+    if args.format == "prometheus":
+        text = render_prometheus(snapshot)
+    else:
+        text = render_json(
+            {"families": snapshot.get("families", [])}, slow_queries=slow
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"metrics written to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    if args.serve is not None:
+        import threading
+
+        server = serve_metrics(TELEMETRY, port=args.serve)
+        host, port = server.server_address[:2]
+        print(f"serving metrics on http://{host}:{port}/metrics "
+              f"(Ctrl-C to stop)", file=sys.stderr)
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            server.shutdown()
+    return 0
+
+
+def _save_metrics_snapshot(path: str) -> None:
+    from .telemetry import TELEMETRY, save_snapshot
+
+    save_snapshot(
+        TELEMETRY.registry.snapshot(),
+        path,
+        slow_queries=TELEMETRY.slow_queries.to_dict(),
+    )
+    print(f"telemetry snapshot written to {path}", file=sys.stderr)
+
+
 def _cmd_peaks(args) -> int:
     from .methods.topk import top_k_peaks
 
@@ -350,25 +522,35 @@ def _cmd_peaks(args) -> int:
     return 0
 
 
+def _dispatch(args) -> int:
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "peaks":
+        return _cmd_peaks(args)
+    if args.command == "reliability":
+        return _cmd_reliability(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "report":
+        from .experiments.run_all import main as report_main
+
+        return report_main()
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        if args.command == "simulate":
-            return _cmd_simulate(args)
-        if args.command == "query":
-            return _cmd_query(args)
-        if args.command == "peaks":
-            return _cmd_peaks(args)
-        if args.command == "reliability":
-            return _cmd_reliability(args)
-        if args.command == "verify":
-            return _cmd_verify(args)
-        if args.command == "chaos":
-            return _cmd_chaos(args)
-        if args.command == "report":
-            from .experiments.run_all import main as report_main
-
-            return report_main()
+        rc = _dispatch(args)
+        if getattr(args, "metrics_out", None):
+            _save_metrics_snapshot(args.metrics_out)
+        return rc
     except ReproError as exc:
         for cls, code in EXIT_CODES:
             if isinstance(exc, cls):
@@ -378,7 +560,6 @@ def main(argv=None) -> int:
     except OSError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 3
-    raise AssertionError("unreachable")  # pragma: no cover
 
 
 if __name__ == "__main__":

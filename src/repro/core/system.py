@@ -57,6 +57,9 @@ from ..reliability.validation import (
     ReportValidator,
 )
 from ..storage.buffer import BufferPool
+from ..telemetry import TELEMETRY
+from ..telemetry import instruments as tm
+from ..telemetry.tracing import NOOP_SPAN
 from .config import SystemConfig
 from .errors import InvalidParameterError, StorageError
 from .query import (
@@ -105,6 +108,9 @@ class PDRServer:
             )
         self.role = role
         self.epoch = 0
+        # Bumped (and persisted in server-config.json) each time this
+        # state directory goes through checkpoint+replay recovery.
+        self.recovery_generation = 0
         self.query_counters: Counter = Counter()
         # Per-stage seconds accumulated across served queries (the FR
         # breakdown: filter / fetch / sweep), for the reliability report.
@@ -190,7 +196,10 @@ class PDRServer:
                     tnow=self.table.tnow, reason=reason, detail=detail,
                 )
             )
+            tm.INGEST_REPORTS.labels("rejected").inc()
+            tm.DEAD_LETTERS.inc()
             return None
+        tm.INGEST_REPORTS.labels("accepted").inc()
         if self._manager is not None:
             self._manager.log_report(oid, x, y, vx, vy, self.table.tnow)
         if self.faults is not None:
@@ -250,6 +259,12 @@ class PDRServer:
             seen.add(oid)
             accepted.append((oid, x, y, vx, vy))
             slots.append(i)
+        rejected = len(reports) - len(accepted)
+        if rejected:
+            tm.INGEST_REPORTS.labels("rejected").inc(rejected)
+            tm.DEAD_LETTERS.inc(rejected)
+        if accepted:
+            tm.INGEST_REPORTS.labels("accepted").inc(len(accepted))
         if not accepted:
             return results
         if self._manager is not None:
@@ -276,6 +291,7 @@ class PDRServer:
                     detail=f"cannot retire unknown object {oid!r}",
                 )
             )
+            tm.DEAD_LETTERS.inc()
             return False
         if self._manager is not None:
             self._manager.log_retire(oid, self.table.tnow)
@@ -466,32 +482,72 @@ class PDRServer:
         """
         q = self.make_query(qt=qt, l=l, rho=rho, varrho=varrho)
         n_retries = self.reliability.retries if retries is None else retries
-        if deadline is not None:
-            result = evaluate_with_degradation(
-                self,
-                method,
-                q,
-                budget_seconds=deadline,
-                retries=n_retries,
-                backoff_seconds=self.reliability.backoff_seconds,
+        tracer = TELEMETRY.tracer
+        with tracer.trace(
+            "query", method=method, qt=q.qt, l=q.l, rho=q.rho, role=self.role
+        ) as span:
+            if deadline is not None:
+                result = evaluate_with_degradation(
+                    self,
+                    method,
+                    q,
+                    budget_seconds=deadline,
+                    retries=n_retries,
+                    backoff_seconds=self.reliability.backoff_seconds,
+                )
+            else:
+                result, attempts = run_with_retries(
+                    lambda: self.evaluate(method, q),
+                    n_retries,
+                    self.reliability.backoff_seconds,
+                    self.clock,
+                )
+                if attempts:
+                    tm.QUERY_RETRIES.inc(attempts)
+                result.requested_method = method
+            span.set(
+                served_method=result.stats.method,
+                degraded=result.degraded,
+                answer_area=result.area(),
             )
-        else:
-            result, _ = run_with_retries(
-                lambda: self.evaluate(method, q),
-                n_retries,
-                self.reliability.backoff_seconds,
-                self.clock,
-            )
-            result.requested_method = method
+        self._account_query(method, q, result, span)
+        return result
+
+    def _account_query(self, method, q, result, span) -> None:
+        """Fold one served query into counters, histograms and the slow log.
+
+        The per-stage seconds come from the query's trace when tracing is
+        on — the instrumented methods record each stage's measured float
+        as a leaf span, so the trace-derived totals match the old
+        hand-accumulated ``stats.extra`` arithmetic bit-for-bit — and fall
+        back to ``stats.extra`` when it is off.  ``stage_seconds`` and the
+        ``reliability_report`` keys fed from it are the compatibility view
+        of this accounting.
+        """
         self.query_counters["served"] += 1
         if result.degraded:
             self.query_counters["degraded"] += 1
         extra = result.stats.extra
+        traced = span is not NOOP_SPAN
+        totals = span.stage_totals() if traced else {}
+        served = result.stats.method
         for stage in ("filter", "fetch", "sweep"):
-            self.stage_seconds[stage] += extra.get(f"{stage}_seconds", 0.0)
+            seconds = (
+                totals.get(stage, 0.0)
+                if traced
+                else extra.get(f"{stage}_seconds", 0.0)
+            )
+            self.stage_seconds[stage] += seconds
+            if seconds > 0.0:
+                tm.QUERY_STAGE_SECONDS.labels(served, stage).observe(seconds)
+        if traced and totals.get("bnb", 0.0) > 0.0:
+            tm.QUERY_STAGE_SECONDS.labels(served, "bnb").observe(totals["bnb"])
         self.query_counters["cache_hits"] += int(extra.get("cache_hits", 0.0))
         self.query_counters["cache_misses"] += int(extra.get("cache_misses", 0.0))
-        return result
+        tm.QUERIES.labels(method, "degraded" if result.degraded else "ok").inc()
+        if traced:
+            tm.QUERY_SECONDS.labels(method).observe(span.duration)
+            TELEMETRY.note_query(span, result, requested_method=method)
 
     def evaluate(
         self, method: str, q: SnapshotPDRQuery, deadline=None
@@ -563,6 +619,7 @@ class PDRServer:
         return {
             "role": self.role,
             "epoch": self.epoch,
+            "recovery_generation": self.recovery_generation,
             "dead_letter_total": self.dead_letters.total,
             "dead_letter_counts": dict(self.dead_letters.counts),
             "queries_served": self.query_counters["served"],

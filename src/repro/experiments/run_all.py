@@ -36,7 +36,7 @@ def _chart_by_l(rows, y_keys, l, title, log_y=False):
 def main(argv=None) -> int:
     profile = active_profile()
     out = sys.stdout
-    started = time.time()
+    started = time.perf_counter()
     print(f"# PDR reproduction — full evaluation (profile: {profile.name})", file=out)
 
     print(format_table(run_table1(profile), title="\n## Table 1 — setup"), file=out)
@@ -138,7 +138,7 @@ def main(argv=None) -> int:
         ),
         file=out,
     )
-    print(f"\n(total wall time: {time.time() - started:.0f}s)", file=out)
+    print(f"\n(total wall time: {time.perf_counter() - started:.0f}s)", file=out)
     return 0
 
 

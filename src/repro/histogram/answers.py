@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 
 from ..core.query import QueryResult, QueryStats, SnapshotPDRQuery
+from ..telemetry import TELEMETRY
 from .density_histogram import DensityHistogram
 from .filter import filter_query
 
@@ -37,6 +38,7 @@ def _answer(
     if include_candidates:
         region = region.union(result.candidate_region())
     cpu = time.perf_counter() - start
+    TELEMETRY.tracer.record_span("filter", cpu)
     stats = QueryStats(
         method=method,
         cpu_seconds=cpu,

@@ -20,6 +20,7 @@ object re-reports within ``U``, so slots up to ``t_now + W`` are complete.)
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
@@ -28,8 +29,38 @@ from ..core.errors import HorizonError, InvalidParameterError
 from ..core.geometry import Rect
 from ..motion.model import Motion
 from ..motion.updates import DeleteUpdate, InsertUpdate, UpdateListener
+from ..telemetry import TELEMETRY
+from ..telemetry import instruments as tm
 
 __all__ = ["DensityHistogram"]
+
+
+# Histograms already count their own cache hits/misses (per-query stats
+# read them via before/after deltas).  The process-wide counters are
+# synced from those local integers only when somebody scrapes — the warm
+# cache path (a dict lookup) stays free of telemetry calls entirely.
+# Weak references: retired histograms keep their already-synced totals in
+# the global counters but stop being polled.
+_cache_sync_marks: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _collect_cache_counters() -> None:
+    for hist, (synced_hits, synced_misses) in list(_cache_sync_marks.items()):
+        delta_hits = hist.cache_hits - synced_hits
+        delta_misses = hist.cache_misses - synced_misses
+        if delta_hits:
+            tm.CACHE_HITS.inc(delta_hits)
+        if delta_misses:
+            tm.CACHE_MISSES.inc(delta_misses)
+        if delta_hits or delta_misses:
+            _cache_sync_marks[hist] = (hist.cache_hits, hist.cache_misses)
+    hits = tm.CACHE_HITS.value
+    total = hits + tm.CACHE_MISSES.value
+    if total:
+        tm.CACHE_HIT_RATIO.set(hits / total)
+
+
+TELEMETRY.registry.on_collect(_collect_cache_counters)
 
 
 class DensityHistogram(UpdateListener):
@@ -62,6 +93,7 @@ class DensityHistogram(UpdateListener):
         self._block_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        _cache_sync_marks[self] = (0, 0)
 
     def _label_slots(self, tnow: int) -> None:
         ts = np.arange(tnow, tnow + self._slots, dtype=np.int64)

@@ -32,6 +32,7 @@ from ..motion.model import Motion
 from ..motion.updates import DeleteUpdate, InsertUpdate, UpdateListener
 from ..storage.buffer import BufferPool
 from ..storage.pages import DEFAULT_PAGE_MODEL, PageModel
+from ..telemetry import instruments as tm
 from .node import Node
 from .split import pick_split
 from .tpbr import TPBR
@@ -107,6 +108,7 @@ class TPRTree(UpdateListener):
                 )
             seen.add(oid)
         if len(updates) > len(self._leaf_of):
+            tm.TPR_REPACKS.labels("bulk_insert").inc()
             self._bulk_build(
                 self.all_motions() + [u.motion for u in updates]
             )
@@ -128,6 +130,7 @@ class TPRTree(UpdateListener):
                 if oid not in self._leaf_of or oid in doomed:
                     raise IndexError_(f"object {oid} is not indexed")
                 doomed.add(oid)
+            tm.TPR_REPACKS.labels("bulk_delete").inc()
             self._bulk_build(
                 [m for m in self.all_motions() if m.oid not in doomed]
             )

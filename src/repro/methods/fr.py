@@ -26,6 +26,7 @@ from ..histogram.density_histogram import DensityHistogram
 from ..histogram.filter import filter_query
 from ..index.tree import TPRTree
 from ..sweep.plane_sweep import refine_cell
+from ..telemetry import TELEMETRY
 
 __all__ = ["FRMethod"]
 
@@ -87,8 +88,12 @@ class FRMethod:
         misses_before = self.histogram.cache_misses
         start = time.perf_counter()
 
+        tracer = TELEMETRY.tracer
         filtered = filter_query(self.histogram, query)
         filter_seconds = time.perf_counter() - start
+        # Each measured stage float is both accumulated below and recorded
+        # as a trace leaf, so trace-derived totals equal stats.extra exactly.
+        tracer.record_span("filter", filter_seconds)
         regions: List[Rect] = list(filtered.accepted_region())
         half = query.l / 2.0
         domain = self.histogram.domain
@@ -103,7 +108,9 @@ class FRMethod:
             fetch = cell.expanded(half)
             stage = time.perf_counter()
             motions = self.tree.range_query(fetch, query.qt)
-            fetch_seconds += time.perf_counter() - stage
+            dt = time.perf_counter() - stage
+            fetch_seconds += dt
+            tracer.record_span("fetch", dt, objects=len(motions))
             objects_examined += len(motions)
             # Objects outside the domain do not count toward density — the
             # same convention the histogram maintains (see DensityHistogram).
@@ -114,7 +121,9 @@ class FRMethod:
             ]
             stage = time.perf_counter()
             refined = refine_cell(positions, cell, query.l, query.min_count)
-            sweep_seconds += time.perf_counter() - stage
+            dt = time.perf_counter() - stage
+            sweep_seconds += dt
+            tracer.record_span("sweep", dt, rects=len(refined))
             regions.extend(refined)
 
         cpu = time.perf_counter() - start

@@ -28,6 +28,7 @@ from ..core.geometry import Rect
 from ..core.query import QueryResult, QueryStats, SnapshotPDRQuery
 from ..motion.model import Motion
 from ..motion.updates import DeleteUpdate, InsertUpdate, ReportPair, UpdateListener
+from ..telemetry import TELEMETRY
 
 __all__ = ["PAMethod"]
 
@@ -408,6 +409,7 @@ class PAMethod(UpdateListener):
         surface = self.surface_at(query.qt)
         regions, bnb = surface.dense_regions(query.rho, md=self.md)
         cpu = time.perf_counter() - start
+        TELEMETRY.tracer.record_span("bnb", cpu, nodes=bnb.nodes_visited)
         stats = QueryStats(method="pa", cpu_seconds=cpu, bnb_nodes=bnb.nodes_visited)
         stats.extra["bnb_accepted"] = float(bnb.accepted_by_bound)
         stats.extra["bnb_pruned"] = float(bnb.pruned_by_bound)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import InvalidParameterError, QueryError
+from ..telemetry import instruments as tm
 from .model import Motion
 from .updates import (
     DeleteUpdate,
@@ -118,6 +119,8 @@ class ObjectTable:
             pairs = list(wave)
             wave.clear()
             seen_in_wave.clear()
+            tm.INGEST_WAVES.inc()
+            tm.INGEST_WAVE_SIZE.observe(len(pairs))
             try:
                 dispatch(self._listeners, "on_report_batch", pairs)
             except ListenerFanoutError as exc:
@@ -125,6 +128,7 @@ class ObjectTable:
 
         for oid, x, y, vx, vy in reports:
             if oid in seen_in_wave:
+                tm.INGEST_WAVE_SPLITS.inc()
                 flush()
             new_motion = Motion(oid, self._tnow, x, y, vx, vy)
             old_motion = self._motions.get(oid)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..core.errors import AdmissionRejectedError, InvalidParameterError
+from ..telemetry import instruments as tm
 from .deadline import DEGRADATION_LADDER
 from .faults import Clock
 
@@ -195,6 +196,7 @@ class AdmissionController:
         if self.in_flight >= self.config.max_concurrent:
             self.counters["rejected"] += 1
             self.counters["rejected_concurrency"] += 1
+            tm.ADMISSION_SHEDS.labels(method).inc()
             raise AdmissionRejectedError(
                 f"concurrency cap reached ({self.in_flight} in flight, "
                 f"cap {self.config.max_concurrent})",
@@ -204,11 +206,14 @@ class AdmissionController:
         for rung in rungs:
             if self.bucket.try_take(self.cost_of(rung)):
                 self.counters["admitted"] += 1
+                tm.ADMISSION_ADMITTED.inc()
                 if rung != method:
                     self.counters["degraded"] += 1
+                    tm.ADMISSION_DEGRADED.inc()
                 return rung, rung != method
         self.counters["rejected"] += 1
         self.counters["rejected_rate"] += 1
+        tm.ADMISSION_SHEDS.labels(method).inc()
         cheapest = rungs[-1]
         raise AdmissionRejectedError(
             f"query load exceeds capacity; {method!r} (and every cheaper "

@@ -67,6 +67,7 @@ from ..core.errors import (
     StalenessExceededError,
 )
 from ..core.geometry import Rect
+from ..telemetry import instruments as tm
 from .faults import FaultInjector
 from .integrity import flip_byte, verify_state_dir
 from .replication import ReplicationConfig, ReplicationGroup
@@ -497,6 +498,11 @@ class ChaosScheduler:
                         )
 
     def _check_oracles(self, group, max_acked: int) -> Optional[Tuple[str, str]]:
+        verdict = self._run_oracles(group, max_acked)
+        tm.CHAOS_ORACLES.labels("fail" if verdict is not None else "pass").inc()
+        return verdict
+
+    def _run_oracles(self, group, max_acked: int) -> Optional[Tuple[str, str]]:
         try:
             group.catch_up_replicas()
         except ReproError as exc:

@@ -34,6 +34,8 @@ from ..core.errors import (
     TransientFaultError,
 )
 from ..core.query import QueryResult, SnapshotPDRQuery
+from ..telemetry import TELEMETRY
+from ..telemetry import instruments as tm
 from .faults import Clock
 
 __all__ = [
@@ -158,27 +160,36 @@ def evaluate_with_degradation(
             remaining = deadline.remaining()
             if remaining <= 0:
                 fallbacks += 1
+                tm.LADDER_FALLBACKS.labels(rung).inc()
                 continue
             rung_deadline = deadline.sliced(
                 (clock.now() - deadline.started) + remaining / 2.0
             )
         try:
-            result, attempts = run_with_retries(
-                lambda r=rung, d=rung_deadline: server.evaluate(r, query, deadline=d),
-                retries,
-                backoff_seconds,
-                clock,
-                deadline=rung_deadline,
-            )
+            with TELEMETRY.tracer.span("rung", method=rung) as rung_span:
+                result, attempts = run_with_retries(
+                    lambda r=rung, d=rung_deadline: server.evaluate(
+                        r, query, deadline=d
+                    ),
+                    retries,
+                    backoff_seconds,
+                    clock,
+                    deadline=rung_deadline,
+                )
             total_retries += attempts
+            if attempts:
+                tm.QUERY_RETRIES.inc(attempts)
         except DeadlineExceededError:
             fallbacks += 1
+            tm.LADDER_FALLBACKS.labels(rung).inc()
             continue
         except TransientFaultError:
             if last:
                 raise
             fallbacks += 1
+            tm.LADDER_FALLBACKS.labels(rung).inc()
             continue
+        rung_span.set(retries=attempts)
         result.requested_method = method
         result.degraded = rung != method
         result.stats.extra["deadline_seconds"] = float(budget_seconds)

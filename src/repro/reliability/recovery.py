@@ -44,6 +44,7 @@ import dataclasses
 import json
 import os
 import re
+import time
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from ..core.errors import (
@@ -53,6 +54,7 @@ from ..core.errors import (
     RecoveryError,
     StorageError,
 )
+from ..telemetry import instruments as tm
 from .faults import FaultInjector
 from .integrity import file_crc, frame_record, parse_wal_line
 from .validation import ReliabilityConfig, ReportPolicy
@@ -137,10 +139,15 @@ class UpdateLog:
         self._fh = open(path, "a", encoding="utf-8")
 
     def append(self, record: dict) -> None:
+        t0 = time.perf_counter()
         self._fh.write(frame_record(record))
         self._fh.flush()
+        t1 = time.perf_counter()
         if self.fsync:
             os.fsync(self._fh.fileno())
+            tm.WAL_FSYNC_SECONDS.observe(time.perf_counter() - t1)
+        tm.WAL_APPEND_SECONDS.observe(t1 - t0)
+        tm.WAL_RECORDS.inc()
 
     def append_many(self, records) -> None:
         """Group commit: one write + flush + fsync for the whole batch.
@@ -151,10 +158,15 @@ class UpdateLog:
         """
         if not records:
             return
+        t0 = time.perf_counter()
         self._fh.write("".join(frame_record(record) for record in records))
         self._fh.flush()
+        t1 = time.perf_counter()
         if self.fsync:
             os.fsync(self._fh.fileno())
+            tm.WAL_FSYNC_SECONDS.observe(time.perf_counter() - t1)
+        tm.WAL_APPEND_SECONDS.observe(t1 - t0)
+        tm.WAL_RECORDS.inc(len(records))
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -280,6 +292,7 @@ class ReliabilityManager:
         record["lsn"] = self.lsn + 1
         self._wal.append(record)
         self.lsn += 1
+        tm.WAL_LSN.set(self.lsn)
         for callback in self.on_append:
             callback(record)
 
@@ -298,6 +311,7 @@ class ReliabilityManager:
             record["lsn"] = self.lsn + 1 + i
         self._wal.append_many(records)
         self.lsn += len(records)
+        tm.WAL_LSN.set(self.lsn)
         for record in records:
             for callback in self.on_append:
                 callback(record)
@@ -344,6 +358,7 @@ class ReliabilityManager:
         """Write a full checkpoint, flip the manifest, rotate the WAL."""
         from ..storage.snapshot import save_server
 
+        started = time.perf_counter()
         if self.faults is not None:
             self.faults.hit("checkpoint.write")
         new_seq = self.seq + 1
@@ -363,6 +378,8 @@ class ReliabilityManager:
         self._wal = UpdateLog(_wal_path(self.state_dir, new_seq), fsync=self.config.fsync)
         self.last_checkpoint_tick = server.tnow
         self._prune()
+        tm.CHECKPOINTS.inc()
+        tm.CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
         return new_seq
 
     def _prune(self) -> None:
@@ -572,6 +589,20 @@ def recover_server(
     server.attach_manager(manager)
     if audit:
         audit_server(server)
+    # The recovered server starts a fresh serving life: per-query counters
+    # and the stage-seconds accumulators describe *this* incarnation, not
+    # the one that crashed (snapshot restore may have carried them over).
+    server.query_counters.clear()
+    server.stage_seconds.clear()
+    # Bump the recovery generation and persist it alongside the config so
+    # operators can tell apart incarnations of the same state directory
+    # (reports and metrics are tagged with it).
+    generation = int(meta.get("generation", 0)) + 1
+    meta["generation"] = generation
+    _atomic_write_json(config_path, meta)
+    server.recovery_generation = generation
+    tm.RECOVERIES.inc()
+    tm.RECOVERY_GENERATION.set(generation)
     return server
 
 

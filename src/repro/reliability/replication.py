@@ -54,6 +54,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -68,6 +69,8 @@ from ..core.errors import (
     StorageError,
     TransientFaultError,
 )
+from ..telemetry import TELEMETRY
+from ..telemetry import instruments as tm
 from .admission import AdmissionConfig, AdmissionController, CircuitBreaker
 from .faults import FaultInjector, InjectedCrashError
 from .validation import ReliabilityConfig
@@ -226,6 +229,7 @@ class Replica:
         """
         if shipped.epoch < self.epoch:
             self.fenced_rejects += 1
+            tm.FENCED_REJECTS.inc()
             return
         self.epoch = shipped.epoch
         if shipped.lsn > self.applied_lsn:
@@ -234,12 +238,16 @@ class Replica:
     def drain(self) -> int:
         """Apply buffered records strictly in LSN order; returns count."""
         applied = 0
+        t0 = time.perf_counter()
         while self.applied_lsn + 1 in self._pending:
             record = self._pending.pop(self.applied_lsn + 1)
             self.server.apply_logged_record(record)
             self.applied_lsn += 1
             self._remember(self.applied_lsn, record)
             applied += 1
+        if applied:
+            tm.REPLICATION_APPLIED.labels(self.name).inc(applied)
+            tm.REPLICATION_APPLY_SECONDS.observe(time.perf_counter() - t0)
         return applied
 
     def lag(self, acked_lsn: int) -> int:
@@ -371,6 +379,7 @@ class ReplicationGroup:
             AdmissionController(admission, self.clock) if admission is not None else None
         )
         self.coordinator = FailoverCoordinator(self.clock, self.replication.lease_timeout)
+        tm.REPLICATION_EPOCH.set(self.epoch)
         primary._manager.on_append.append(self._ship)
         for i in range(n_replicas):
             self.add_replica(f"replica-{i}")
@@ -464,6 +473,9 @@ class ReplicationGroup:
             for shipped in replica.link.deliverable():
                 replica.offer(shipped)
             replica.drain()
+            tm.REPLICATION_LAG.labels(replica.name).set(
+                replica.lag(self._acked_lsn)
+            )
 
     def catch_up_replicas(self) -> None:
         """Heal every lagging/stalled replica from the durable WAL."""
@@ -582,6 +594,8 @@ class ReplicationGroup:
         self.primary.attach_manager(manager)
         self.primary.promote(new_epoch)  # logs the epoch record -> ships it
         old.demote()
+        tm.FAILOVERS.inc()
+        tm.REPLICATION_EPOCH.set(new_epoch)
         self.coordinator.note_heartbeat()
         self.pump()
         return self.primary
@@ -634,49 +648,58 @@ class ReplicationGroup:
         skip ejected backends; replicas outside the staleness bound are
         never consulted.  The result's ``served_by`` names the backend.
         """
-        admitted, admission_degraded = (
-            self.admission.admit(method) if self.admission is not None else (method, False)
-        )
-        backends = self._read_backends()
-        if not backends:
-            raise StalenessExceededError(
-                f"no backend within staleness bound {self.replication.staleness_bound} "
-                f"(acked lsn {self._acked_lsn}) and the primary is unavailable"
-            )
-        last_exc: Optional[ReproError] = None
-        for name, server in backends:
-            breaker = self._breaker(name)
-            if not breaker.allow():
-                continue
-            try:
-                if self.admission is not None:
-                    with self.admission.slot():
+        with TELEMETRY.tracer.trace("group_query", method=method, qt=qt) as group_span:
+            with TELEMETRY.tracer.span("admission"):
+                admitted, admission_degraded = (
+                    self.admission.admit(method)
+                    if self.admission is not None
+                    else (method, False)
+                )
+            backends = self._read_backends()
+            if not backends:
+                raise StalenessExceededError(
+                    f"no backend within staleness bound "
+                    f"{self.replication.staleness_bound} "
+                    f"(acked lsn {self._acked_lsn}) and the primary is unavailable"
+                )
+            last_exc: Optional[ReproError] = None
+            for name, server in backends:
+                breaker = self._breaker(name)
+                if not breaker.allow():
+                    continue
+                try:
+                    if self.admission is not None:
+                        with self.admission.slot():
+                            result = server.query(
+                                admitted, qt=qt, l=l, rho=rho, varrho=varrho,
+                                deadline=deadline, retries=retries,
+                            )
+                    else:
                         result = server.query(
                             admitted, qt=qt, l=l, rho=rho, varrho=varrho,
                             deadline=deadline, retries=retries,
                         )
-                else:
-                    result = server.query(
-                        admitted, qt=qt, l=l, rho=rho, varrho=varrho,
-                        deadline=deadline, retries=retries,
-                    )
-            except InjectedCrashError:
-                raise
-            except ReproError as exc:
-                breaker.record_failure()
-                last_exc = exc
-                continue
-            breaker.record_success()
-            result.served_by = name
-            if admission_degraded:
-                result.degraded = True
-                result.requested_method = method
-            return result
-        if last_exc is not None:
-            raise last_exc
-        raise QueryError(
-            "every eligible backend is circuit-broken; retry after probation"
-        )
+                except InjectedCrashError:
+                    raise
+                except ReproError as exc:
+                    breaker.record_failure()
+                    last_exc = exc
+                    continue
+                breaker.record_success()
+                result.served_by = name
+                if admission_degraded:
+                    result.degraded = True
+                    result.requested_method = method
+                group_span.set(served_by=name, served_method=result.stats.method)
+                break
+            else:
+                if last_exc is not None:
+                    raise last_exc
+                raise QueryError(
+                    "every eligible backend is circuit-broken; retry after probation"
+                )
+        TELEMETRY.note_query(group_span, result, requested_method=method)
+        return result
 
     def query_interval(
         self,

@@ -1,0 +1,163 @@
+"""Every metric family the system exposes, declared in one place.
+
+Instrumented modules import the family objects below instead of
+re-declaring names ad hoc, so help text, label names and bucket layouts
+cannot drift between call sites, and the exporter always knows the full
+set (``REQUIRED_FAMILIES`` in :mod:`.exporters` is checked by CI against
+a live scrape).
+
+Labeled families materialise a series per label combination on first
+use; unlabeled ones exist (at zero) from process start.
+"""
+
+from __future__ import annotations
+
+from . import TELEMETRY
+from .registry import COUNT_BUCKETS
+
+_reg = TELEMETRY.registry
+
+# ----------------------------------------------------------------------
+# ingest
+# ----------------------------------------------------------------------
+INGEST_REPORTS = _reg.counter(
+    "repro_ingest_reports_total",
+    "Location reports by validation outcome",
+    labelnames=("outcome",),  # accepted | rejected
+)
+INGEST_WAVES = _reg.counter(
+    "repro_ingest_waves_total", "Batched ingest waves dispatched to listeners"
+)
+INGEST_WAVE_SIZE = _reg.histogram(
+    "repro_ingest_wave_size",
+    "Reports per dispatched ingest wave",
+    buckets=COUNT_BUCKETS,
+)
+INGEST_WAVE_SPLITS = _reg.counter(
+    "repro_ingest_wave_splits_total",
+    "Waves split because an oid repeated within one batch",
+)
+DEAD_LETTERS = _reg.counter(
+    "repro_dead_letters_total", "Reports quarantined by the validator"
+)
+
+# ----------------------------------------------------------------------
+# query path
+# ----------------------------------------------------------------------
+QUERIES = _reg.counter(
+    "repro_query_total",
+    "Queries served, by evaluation method and outcome",
+    labelnames=("method", "outcome"),  # outcome: ok | degraded
+)
+QUERY_SECONDS = _reg.histogram(
+    "repro_query_seconds",
+    "End-to-end query latency by requested method",
+    labelnames=("method",),
+)
+QUERY_STAGE_SECONDS = _reg.histogram(
+    "repro_query_stage_seconds",
+    "Per-stage query latency (filter/fetch/sweep/bnb) by served method",
+    labelnames=("method", "stage"),
+)
+LADDER_FALLBACKS = _reg.counter(
+    "repro_query_ladder_fallbacks_total",
+    "Degradation-ladder rungs abandoned (deadline or fault), by rung",
+    labelnames=("rung",),
+)
+QUERY_RETRIES = _reg.counter(
+    "repro_query_retries_total", "Transient-fault retries spent inside queries"
+)
+
+# ----------------------------------------------------------------------
+# durability (WAL + checkpoints + recovery)
+# ----------------------------------------------------------------------
+WAL_APPEND_SECONDS = _reg.histogram(
+    "repro_wal_append_seconds", "WAL write+flush latency per append call"
+)
+WAL_FSYNC_SECONDS = _reg.histogram(
+    "repro_wal_fsync_seconds", "WAL fsync latency per append call"
+)
+WAL_RECORDS = _reg.counter(
+    "repro_wal_records_total", "Records durably appended to the WAL"
+)
+WAL_LSN = _reg.gauge("repro_wal_lsn", "LSN of the last durably appended record")
+CHECKPOINTS = _reg.counter("repro_checkpoints_total", "Checkpoints written")
+CHECKPOINT_SECONDS = _reg.histogram(
+    "repro_checkpoint_seconds", "Full checkpoint duration (write+manifest+rotate)"
+)
+RECOVERIES = _reg.counter(
+    "repro_recoveries_total", "Successful checkpoint+replay recoveries"
+)
+RECOVERY_GENERATION = _reg.gauge(
+    "repro_recovery_generation",
+    "Recovery generation of the serving state directory (0 = never recovered)",
+)
+
+# ----------------------------------------------------------------------
+# replication + failover
+# ----------------------------------------------------------------------
+REPLICATION_LAG = _reg.gauge(
+    "repro_replication_lag_records",
+    "Acknowledged records not yet applied, per replica",
+    labelnames=("replica",),
+)
+REPLICATION_APPLIED = _reg.counter(
+    "repro_replication_applied_total",
+    "Shipped records applied in LSN order, per replica",
+    labelnames=("replica",),
+)
+REPLICATION_APPLY_SECONDS = _reg.histogram(
+    "repro_replication_apply_seconds", "Replica drain latency per applied batch"
+)
+REPLICATION_EPOCH = _reg.gauge(
+    "repro_replication_epoch", "Current fencing epoch of the replication group"
+)
+FAILOVERS = _reg.counter("repro_failovers_total", "Completed failover promotions")
+FENCED_REJECTS = _reg.counter(
+    "repro_replication_fenced_rejects_total",
+    "Shipped records rejected for carrying a stale epoch",
+)
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+ADMISSION_ADMITTED = _reg.counter(
+    "repro_admission_admitted_total", "Queries admitted by the front door"
+)
+ADMISSION_DEGRADED = _reg.counter(
+    "repro_admission_degraded_total",
+    "Queries admitted at a cheaper rung than requested",
+)
+ADMISSION_SHEDS = _reg.counter(
+    "repro_admission_sheds_total",
+    "Queries shed at the front door, by requested cost class",
+    labelnames=("method",),
+)
+
+# ----------------------------------------------------------------------
+# caches and index maintenance
+# ----------------------------------------------------------------------
+CACHE_HITS = _reg.counter(
+    "repro_histogram_cache_hits_total", "Prefix/block-sum cache hits"
+)
+CACHE_MISSES = _reg.counter(
+    "repro_histogram_cache_misses_total", "Prefix/block-sum cache misses"
+)
+CACHE_HIT_RATIO = _reg.gauge(
+    "repro_histogram_cache_hit_ratio",
+    "Lifetime prefix/block-sum cache hit ratio (hits / lookups)",
+)
+TPR_REPACKS = _reg.counter(
+    "repro_tpr_repacks_total",
+    "TPR-tree whole-tree STR repacks, by trigger",
+    labelnames=("kind",),  # bulk_insert | bulk_delete
+)
+
+# ----------------------------------------------------------------------
+# chaos oracles
+# ----------------------------------------------------------------------
+CHAOS_ORACLES = _reg.counter(
+    "repro_chaos_oracle_outcomes_total",
+    "Chaos invariant-oracle sweep outcomes",
+    labelnames=("outcome",),  # pass | fail
+)

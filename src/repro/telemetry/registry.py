@@ -1,0 +1,383 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Zero third-party dependencies, process-wide, label-aware.  Every
+instrument is owned by a :class:`MetricsRegistry`; creating the same
+family twice returns the same object, so call sites can resolve their
+instruments at import time and hot loops pay one attribute lookup plus
+one ``enabled`` branch per event.
+
+Design constraints (the observability layer rides on every hot path):
+
+* **Cheap when disabled.**  Instruments hold a reference to their
+  registry and check its ``enabled`` flag on every mutation; a disabled
+  registry turns every ``inc``/``set``/``observe`` into a single branch.
+* **Cheap when enabled.**  Counters and gauges are one float add/store;
+  histograms are a :func:`bisect.bisect_left` into a fixed bucket table
+  (no allocation, no per-observation sorting).
+* **Resettable in place.**  :meth:`MetricsRegistry.reset` zeroes values
+  but keeps every family and child object alive, so references cached by
+  instrumented modules never go stale.
+
+Quantiles (p50/p95/p99) are estimated from the cumulative bucket counts
+by linear interpolation inside the target bucket — the standard
+Prometheus ``histogram_quantile`` estimator, computed here so operators
+get latency percentiles without a scrape pipeline.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "COUNT_BUCKETS",
+]
+
+# Seconds.  Spans four orders of magnitude below a millisecond because the
+# interesting stage costs (filter arithmetic, one WAL append) live there.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+# For size-shaped histograms (batch sizes, wave widths).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0, 100000.0,
+)
+
+_VALID_TYPES = ("counter", "gauge", "histogram")
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_registry", "value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount})")
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _sample(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (lags, epochs, ratios)."""
+
+    __slots__ = ("_registry", "value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._registry.enabled:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._registry.enabled:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        if self._registry.enabled:
+            self.value -= amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _sample(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with sum/count and quantile estimation.
+
+    ``bounds`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the overflow, so ``observe`` never drops an observation.
+    """
+
+    __slots__ = ("_registry", "bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, registry: "MetricsRegistry", bounds: Sequence[float]) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must strictly increase: {bounds}")
+        self._registry = registry
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of the observations.
+
+        Linear interpolation within the bucket that crosses the target
+        rank; the overflow bucket is pinned to its lower bound (there is
+        no finite upper edge to interpolate toward).  Returns ``nan``
+        with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                if i >= len(self.bounds):
+                    return self.bounds[-1]  # overflow bucket: clamp
+                hi = self.bounds[i]
+                within = (rank - cumulative) / n
+                return lo + (hi - lo) * within
+            cumulative += n
+        return self.bounds[-1]  # pragma: no cover - rank <= count always hits
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def _reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def _sample(self) -> dict:
+        cumulative = 0
+        buckets = []
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            cumulative += n
+            buckets.append([bound, cumulative])
+        buckets.append(["+Inf", cumulative + self.bucket_counts[-1]])
+        return {
+            "buckets": buckets,
+            "sum": self.sum,
+            "count": self.count,
+            "quantiles": {
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+            },
+        }
+
+
+class MetricFamily:
+    """One named metric plus its labeled children.
+
+    A family declared with no label names has exactly one child (the
+    family itself proxies to it); with label names, :meth:`labels`
+    resolves/creates the child for one label-value combination.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Sequence[float]],
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = labelnames
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: "Dict[Tuple[str, ...], object]" = {}
+        if not labelnames:
+            self._default = self._make_child()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter(self.registry)
+        if self.kind == "gauge":
+            return Gauge(self.registry)
+        return Histogram(self.registry, self.buckets or DEFAULT_LATENCY_BUCKETS)
+
+    def labels(self, *values: str, **kv: str):
+        """The child instrument for one label-value combination."""
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            values = tuple(str(kv[name]) for name in self.labelnames)
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {values}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            child = self._make_child()
+            self._children[values] = child
+        return child
+
+    # Unlabeled families proxy the instrument API directly.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+    def quantile(self, q: float) -> float:
+        return self._default.quantile(q)
+
+    @property
+    def count(self) -> int:
+        return self._default.count
+
+    @property
+    def mean(self) -> float:
+        return self._default.mean
+
+    @property
+    def sum(self) -> float:
+        return self._default.sum
+
+    def series(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        return self._children.items()
+
+    def _reset(self) -> None:
+        for child in self._children.values():
+            child._reset()
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                {"labels": dict(zip(self.labelnames, values)), **child._sample()}
+                for values, child in sorted(self._children.items())
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Owns every metric family; the scrape/snapshot surface.
+
+    ``enabled`` is the single kill switch: instruments check it on every
+    mutation, so flipping it off turns the whole telemetry layer into
+    branches (see the enabled-vs-disabled benchmark in
+    ``benchmarks/perf_gate.py``).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: "Dict[str, MetricFamily]" = {}
+        self._collect_hooks: List = []
+
+    def on_collect(self, hook) -> None:
+        """Register a callable run before every :meth:`snapshot`.
+
+        For derived metrics (ratios, utilizations) that would otherwise
+        need recomputing on every hot-path event: the instrumented code
+        keeps cheap counters and the hook folds them into a gauge only
+        when somebody actually scrapes.
+        """
+        self._collect_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # family construction (idempotent by name)
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"not {kind}"
+                )
+            return existing
+        family = MetricFamily(
+            self, name, kind, help_text, tuple(labelnames), buckets
+        )
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help_text, labelnames, buckets)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def snapshot(self) -> dict:
+        """A plain-dict image of every family (the JSON export payload)."""
+        for hook in self._collect_hooks:
+            hook()
+        return {"families": [family.snapshot() for family in self.families()]}
+
+    def reset(self) -> None:
+        """Zero every value in place; family/child identities survive."""
+        for family in self._families.values():
+            family._reset()

@@ -1,0 +1,124 @@
+"""The slow-query log: a bounded buffer of the N worst query traces.
+
+Every finished root query trace is *offered* to the log with the query's
+resolved parameters; the log keeps the ``capacity`` slowest ones.  Each
+retained entry is a **replayable exemplar**: it records the method that
+actually produced the answer (after any degradation) plus the resolved
+absolute threshold, so ``server.query(**entry.replay_kwargs())`` against
+the same state reproduces the identical answer — the operator's "what
+exactly was slow, show me again" tool.
+
+Implementation: a min-heap keyed by duration so an offer against a full
+log is one comparison in the common (fast-query) case.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog"]
+
+
+@dataclass
+class SlowQueryEntry:
+    """One retained worst-case query."""
+
+    duration_seconds: float
+    method: str                 # the method that actually ran
+    requested_method: str       # what the caller asked for
+    qt: int
+    l: float
+    rho: float                  # resolved absolute threshold
+    degraded: bool = False
+    served_by: Optional[str] = None
+    trace: Optional[dict] = None  # serialized span tree
+    attrs: dict = field(default_factory=dict)
+
+    def replay_kwargs(self) -> dict:
+        """Keyword arguments reproducing this answer on the same state."""
+        return {"method": self.method, "qt": self.qt, "l": self.l, "rho": self.rho}
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_seconds": self.duration_seconds,
+            "method": self.method,
+            "requested_method": self.requested_method,
+            "qt": self.qt,
+            "l": self.l,
+            "rho": self.rho,
+            "degraded": self.degraded,
+            "served_by": self.served_by,
+            "attrs": dict(self.attrs),
+            "trace": self.trace,
+        }
+
+
+class SlowQueryLog:
+    """Keeps the ``capacity`` slowest entries ever offered."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.offered = 0
+        self._seq = itertools.count()
+        self._heap: List[tuple] = []  # (duration, seq, entry) min-heap
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def threshold_seconds(self) -> float:
+        """Durations at or below this cannot enter a full log."""
+        if self.capacity == 0:
+            return float("inf")
+        if len(self._heap) < self.capacity:
+            return 0.0
+        return self._heap[0][0]
+
+    def would_retain(self, duration_seconds: float) -> bool:
+        """Whether an offer with this duration would be kept (no mutation)."""
+        if self.capacity == 0:
+            return False
+        if len(self._heap) < self.capacity:
+            return True
+        return duration_seconds > self._heap[0][0]
+
+    def note_skipped(self) -> None:
+        """Count an offer the caller short-circuited via :meth:`would_retain`."""
+        self.offered += 1
+
+    def offer(self, entry: SlowQueryEntry) -> bool:
+        """Consider one finished query; returns True if it was retained."""
+        self.offered += 1
+        if self.capacity == 0:
+            return False
+        item = (entry.duration_seconds, next(self._seq), entry)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, item)
+            return True
+        if entry.duration_seconds <= self._heap[0][0]:
+            return False
+        heapq.heapreplace(self._heap, item)
+        return True
+
+    def entries(self) -> List[SlowQueryEntry]:
+        """Retained entries, slowest first."""
+        return [
+            item[2]
+            for item in sorted(self._heap, key=lambda it: (-it[0], it[1]))
+        ]
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self.offered = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "offered": self.offered,
+            "entries": [entry.to_dict() for entry in self.entries()],
+        }

@@ -1,0 +1,261 @@
+"""Structured per-query tracing: span trees with propagated trace IDs.
+
+A query entering the system opens a *trace* — a tree of :class:`Span`
+nodes, one per meaningful unit of work::
+
+    query(method=fr, qt=42)            <- root, opened by the serving tier
+      admission                        <- token-bucket decision
+      rung(method=fr)                  <- one ladder rung (reliability.deadline)
+        filter                         <- histogram classification
+        fetch                          <- aggregated over candidate cells
+        sweep                          <- aggregated over candidate cells
+
+Span and trace IDs are deterministic process-local counters (hex), so a
+seeded run produces the same tree shape run over run.  The tracer keeps a
+thread-local span stack; :meth:`Tracer.trace` nests automatically — when
+a trace is already open it produces a child span, which is how the
+replication group's trace flows through ``PDRServer.query`` and down the
+degradation ladder without any explicit plumbing.
+
+Two recording styles:
+
+* ``with tracer.trace("rung", method="fr") as span:`` — measures the
+  enclosed block with :func:`time.perf_counter` and pushes the span so
+  nested work attaches to it.
+* ``tracer.record_span("fetch", seconds)`` — folds an already-measured
+  leaf into the enclosing span's per-stage accumulator.  A stage that
+  fires once per candidate cell can fire thousands of times per query,
+  so leaves are *aggregated*, not materialized: one dict slot per stage
+  name holding a count, a running duration fold and sums of any numeric
+  attributes.  Instrumented code that must keep its own ``perf_counter``
+  arithmetic (the FR stage accounting predates tracing and its floats
+  are contractual — ``stage_seconds`` compatibility is bit-for-bit)
+  measures once and hands the *same float* to the trace; because the
+  accumulator performs the identical ``total += dt`` fold in recording
+  order, trace-derived stage totals equal the hand-accumulated ones
+  exactly.
+
+When tracing is disabled — or no trace is open — both styles degrade to a
+shared no-op span; the cost is one branch and one ``perf_counter`` pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "NOOP_SPAN", "Tracer"]
+
+_ids = itertools.count(1)
+
+
+def _next_id() -> str:
+    return format(next(_ids), "012x")
+
+
+class Span:
+    """One timed node of a trace tree."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "started", "duration", "attrs", "children", "stages",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _next_id()
+        self.parent_id = parent_id
+        self.started = 0.0
+        self.duration = 0.0
+        self.attrs: dict = attrs or {}
+        self.children: List["Span"] = []
+        # Aggregated leaves from record_span(): name -> {"count", "seconds",
+        # <summed numeric attrs>}.  "seconds" is a running fold in recording
+        # order — the bit-for-bit twin of the instrumented code's own
+        # ``total += dt`` accumulation.
+        self.stages: Dict[str, dict] = {}
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def child(self, name: str, attrs: Optional[dict] = None) -> "Span":
+        span = Span(name, self.trace_id, parent_id=self.span_id, attrs=attrs)
+        self.children.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def stage_totals(self) -> Dict[str, float]:
+        """Durations of descendant work keyed by stage/span name.
+
+        Aggregated leaves contribute their accumulator value — already a
+        ``total += dt`` fold in recording order, so for a stage whose
+        instrumented code hand-accumulates the same floats the result is
+        bit-for-bit identical (float addition is order-sensitive; the
+        accumulator's order *is* the recording order).  Child spans are
+        then visited depth-first, adding their own durations and stage
+        totals.
+        """
+        totals: Dict[str, float] = {}
+        for name, acc in self.stages.items():
+            totals[name] = totals.get(name, 0.0) + acc["seconds"]
+        for child in self.children:
+            totals[child.name] = totals.get(child.name, 0.0) + child.duration
+            for name, value in child.stage_totals().items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_seconds": self.duration,
+            "attrs": dict(self.attrs),
+            "stages": {name: dict(acc) for name, acc in self.stages.items()},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span for disabled tracing / no open trace."""
+
+    __slots__ = ()
+    name = "noop"
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    duration = 0.0
+    children: List[Span] = []
+    attrs: dict = {}
+    stages: Dict[str, dict] = {}
+
+    @property
+    def is_root(self) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def stage_totals(self) -> Dict[str, float]:
+        return {}
+
+    def walk(self):
+        return iter(())
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager that times a span and maintains the tracer stack."""
+
+    __slots__ = ("_tracer", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        if self._span is not NOOP_SPAN:
+            self._span.started = self._t0
+            self._tracer._stack().append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dt = time.perf_counter() - self._t0
+        if self._span is not NOOP_SPAN:
+            self._span.duration = dt
+            if exc_type is not None:
+                self._span.attrs.setdefault("error", exc_type.__name__)
+            stack = self._tracer._stack()
+            if stack and stack[-1] is self._span:
+                stack.pop()
+
+
+class Tracer:
+    """Thread-local span stack plus the enable switch."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def trace(self, name: str, **attrs) -> _SpanContext:
+        """Open a span: a root when no trace is active, a child otherwise."""
+        if not self.enabled:
+            return _SpanContext(self, NOOP_SPAN)
+        parent = self.current()
+        if parent is None:
+            span = Span(name, trace_id=_next_id(), attrs=attrs or None)
+        else:
+            span = parent.child(name, attrs=attrs or None)
+        return _SpanContext(self, span)
+
+    # ``span`` differs from ``trace`` only in intent: it never *starts*
+    # a trace — without an open trace it is a no-op, so instrumented
+    # library code costs nothing when nobody upstream asked for a trace.
+    def span(self, name: str, **attrs) -> _SpanContext:
+        if not self.enabled:
+            return _SpanContext(self, NOOP_SPAN)
+        parent = self.current()
+        if parent is None:
+            return _SpanContext(self, NOOP_SPAN)
+        return _SpanContext(self, parent.child(name, attrs=attrs or None))
+
+    def record_span(self, name: str, seconds: float, **attrs) -> None:
+        """Fold an already-measured leaf into the current span.
+
+        Aggregates rather than allocates: a per-cell stage firing
+        thousands of times per query costs one dict update per firing,
+        and the resulting trace stays small enough to serialize into the
+        slow-query log.  Numeric attributes are summed.
+        """
+        if not self.enabled:
+            return
+        parent = self.current()
+        if parent is None:
+            return
+        acc = parent.stages.get(name)
+        if acc is None:
+            acc = parent.stages[name] = {"count": 0, "seconds": 0.0}
+        acc["count"] += 1
+        acc["seconds"] += seconds
+        for key, value in attrs.items():
+            if isinstance(value, (int, float)):
+                acc[key] = acc.get(key, 0) + value

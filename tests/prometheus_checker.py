@@ -1,0 +1,221 @@
+"""A Prometheus text-exposition (0.0.4) line-format checker.
+
+Used two ways:
+
+* imported by ``tests/test_metrics_export.py`` and the CI metrics-smoke
+  job to validate ``repro metrics --format prometheus`` output, and
+* standalone — ``python tests/prometheus_checker.py [FILE]`` reads a
+  scrape from FILE (or stdin) and exits non-zero with the problems
+  printed, one per line.
+
+The checker is intentionally stricter than "Prometheus would accept it":
+because the telemetry layer declares every metric family at import time,
+``# HELP``/``# TYPE`` headers render even for families that never saw an
+event — so for the *required* families (``--require`` /
+``required_families=``) a header alone is not enough; at least one actual
+sample line must be present.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["check_prometheus_text", "main"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name, optional {labels}, value, optional timestamp
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+_VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str) -> float:
+    """A sample value: decimal float or the spec's NaN/+Inf/-Inf."""
+    if text in ("NaN", "+Inf", "-Inf"):
+        return {"NaN": float("nan"), "+Inf": float("inf"), "-Inf": float("-inf")}[text]
+    return float(text)  # raises ValueError on garbage
+
+
+def _parse_labels(raw: str, problems: List[str], lineno: int) -> Dict[str, str]:
+    """Validate the inside of ``{...}`` and return the label mapping."""
+    labels: Dict[str, str] = {}
+    consumed = 0
+    for match in _LABEL_PAIR.finditer(raw):
+        # between pairs only a comma (plus optional trailing comma) is legal
+        gap = raw[consumed:match.start()]
+        if gap not in ("", ","):
+            problems.append(f"line {lineno}: malformed label section {raw!r}")
+            return labels
+        name = match.group("name")
+        if name in labels:
+            problems.append(f"line {lineno}: duplicate label {name!r}")
+        labels[name] = match.group("value")
+        consumed = match.end()
+    if raw[consumed:] not in ("", ","):
+        problems.append(f"line {lineno}: malformed label section {raw!r}")
+    return labels
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> str:
+    """Map a sample name back to its family (histogram suffixes fold in)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def check_prometheus_text(
+    text: str, required_families: Iterable[str] = ()
+) -> List[str]:
+    """Validate a scrape; returns a list of problems (empty == clean).
+
+    Checks line grammar (HELP/TYPE headers, sample syntax, label syntax,
+    value syntax), header discipline (TYPE at most once per family, no
+    samples before their TYPE), histogram shape (cumulative buckets
+    non-decreasing, ``+Inf`` bucket equals ``_count``), and — the part CI
+    cares about — that every family in ``required_families`` has at
+    least one actual sample line, not just headers.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    helped: Set[str] = set()
+    sampled: Set[str] = set()
+    # histogram shape bookkeeping: family -> labelset-key -> data
+    buckets: Dict[str, Dict[str, List[float]]] = {}
+    inf_buckets: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, Dict[str, float]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not _METRIC_NAME.match(name):
+                problems.append(f"line {lineno}: bad metric name in HELP: {name!r}")
+            elif name in helped:
+                problems.append(f"line {lineno}: duplicate HELP for {name}")
+            helped.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            name, kind = parts
+            if not _METRIC_NAME.match(name):
+                problems.append(f"line {lineno}: bad metric name in TYPE: {name!r}")
+            if kind not in _VALID_TYPES:
+                problems.append(f"line {lineno}: unknown metric type {kind!r}")
+            if name in types:
+                problems.append(f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        labels = {}
+        if match.group("labels") is not None:
+            labels = _parse_labels(match.group("labels"), problems, lineno)
+        family = _family_of(name, types)
+        if family not in types:
+            problems.append(f"line {lineno}: sample {name} before any TYPE header")
+        sampled.add(family)
+        if types.get(family) == "histogram":
+            key = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items()) if k != "le"
+            )
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    problems.append(f"line {lineno}: histogram bucket without le")
+                elif le == "+Inf":
+                    inf_buckets.setdefault(family, {})[key] = value
+                else:
+                    buckets.setdefault(family, {}).setdefault(key, []).append(value)
+            elif name.endswith("_count"):
+                counts.setdefault(family, {})[key] = value
+
+    for family, by_series in buckets.items():
+        for key, cumulative in by_series.items():
+            if any(hi < lo for lo, hi in zip(cumulative, cumulative[1:])):
+                problems.append(
+                    f"{family}{{{key}}}: cumulative bucket counts decrease"
+                )
+            inf = inf_buckets.get(family, {}).get(key)
+            count = counts.get(family, {}).get(key)
+            if inf is None:
+                problems.append(f"{family}{{{key}}}: missing +Inf bucket")
+            elif count is not None and inf != count:
+                problems.append(
+                    f"{family}{{{key}}}: +Inf bucket {inf} != count {count}"
+                )
+
+    for family in required_families:
+        if family not in types:
+            problems.append(f"required family {family} has no TYPE header")
+        elif family not in sampled:
+            problems.append(f"required family {family} has no sample lines")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    require: List[str] = []
+    paths: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--require":
+            require.extend(next(it, "").split(","))
+        elif arg.startswith("--require="):
+            require.extend(arg.split("=", 1)[1].split(","))
+        else:
+            paths.append(arg)
+    if not require:
+        # default to the deployment contract when run from the repo
+        try:
+            from repro.telemetry.exporters import REQUIRED_FAMILIES
+            require = list(REQUIRED_FAMILIES)
+        except ImportError:
+            require = []
+    if paths:
+        with open(paths[0], "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+    problems = check_prometheus_text(text, required_families=[r for r in require if r])
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("OK: scrape is well-formed and all required families have samples")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
