@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""End-to-end serving smoke: boot, load, drain, scrape, SIGTERM.
+
+The CI ``serving-smoke`` job runs this against a real ``repro serve``
+subprocess:
+
+1. boot the server on ephemeral ports and parse the machine-readable
+   ``port=N`` / ``metrics-port=N`` stdout lines;
+2. run a short seeded ``repro loadtest`` against it and require zero
+   failed ops and zero acked-write loss;
+3. send a ``drain`` frame, then scrape ``/metrics`` and require samples
+   for ``repro_connections_active`` and ``repro_drain_duration_seconds``
+   (via ``tests/prometheus_checker.py``);
+4. SIGTERM the server and require a clean exit (code 0, "drained clean").
+
+Run from the repository root: ``PYTHONPATH=src python scripts/serving_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PYTHON = sys.executable
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _read_ports(proc: subprocess.Popen, deadline: float) -> dict:
+    """Collect the ``key=value`` stdout lines the server prints on boot."""
+    ports: dict = {}
+    while time.time() < deadline and len(ports) < 2:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        line = line.strip()
+        if "=" in line:
+            key, _, value = line.partition("=")
+            if key in ("port", "metrics-port"):
+                ports[key] = int(value)
+    return ports
+
+
+def main() -> int:
+    serve = subprocess.Popen(
+        [PYTHON, "-m", "repro.cli", "serve", "--port", "0",
+         "--metrics-port", "0", "--objects", "64", "--replicas", "2",
+         "--seed", "7"],
+        cwd=ROOT, env=_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        ports = _read_ports(serve, time.time() + 60.0)
+        assert "port" in ports and "metrics-port" in ports, (
+            f"server did not announce its ports (got {ports})"
+        )
+        print(f"server up: port={ports['port']} "
+              f"metrics-port={ports['metrics-port']}")
+
+        # 2. a short seeded load test; generous SLOs (CI boxes are slow),
+        # but failures and acked-write loss are hard zero requirements
+        out = os.path.join(ROOT, "serving-smoke-loadtest.json")
+        code = subprocess.call(
+            [PYTHON, "-m", "repro.cli", "loadtest",
+             "--host", "127.0.0.1", "--port", str(ports["port"]),
+             "--mix", "report-heavy", "--duration", "2", "--concurrency", "2",
+             "--seed", "7", "--report-slo-ms", "5000",
+             "--query-slo-ms", "20000", "--json-out", out],
+            cwd=ROOT, env=_env(),
+        )
+        assert code == 0, f"loadtest exited {code}"
+        with open(out) as fh:
+            result = json.load(fh)
+        assert result["ops"] > 0, "loadtest issued no operations"
+        assert result["failed_ops"] == 0, f"{result['failed_ops']} ops failed"
+        assert result["acked_write_loss"] == 0, (
+            f"acked-write loss: max acked {result['max_acked_lsn']} > "
+            f"WAL {result['final_wal_lsn']}"
+        )
+        print(f"loadtest: {result['ops']} ops, 0 failed, 0 acked-write loss")
+
+        # 3. drain over the wire, then scrape the (still-running) process
+        sys.path.insert(0, os.path.join(ROOT, "src"))
+        from repro.serving.protocol import read_frame_sync, write_frame_sync
+
+        with socket.create_connection(("127.0.0.1", ports["port"]), 5.0) as s:
+            write_frame_sync(s, {"op": "drain"})
+            frame = read_frame_sync(s)
+            assert frame and frame.get("draining"), f"drain refused: {frame}"
+        time.sleep(1.0)  # let the drain finish and observe its duration
+
+        scrape = urllib.request.urlopen(
+            f"http://127.0.0.1:{ports['metrics-port']}/metrics", timeout=10.0
+        ).read().decode("utf-8")
+        scrape_path = os.path.join(ROOT, "serving-scrape.prom")
+        with open(scrape_path, "w") as fh:
+            fh.write(scrape)
+        code = subprocess.call(
+            [PYTHON, os.path.join(ROOT, "tests", "prometheus_checker.py"),
+             "--require=repro_connections_active,repro_drain_duration_seconds,"
+             "repro_serving_frames_total,repro_build_info",
+             scrape_path],
+            cwd=ROOT, env=_env(),
+        )
+        assert code == 0, "prometheus_checker rejected the live scrape"
+
+        # 4. SIGTERM -> graceful shutdown, exit 0
+        serve.send_signal(signal.SIGTERM)
+        _stdout, stderr = serve.communicate(timeout=30.0)
+        assert serve.returncode == 0, f"serve exited {serve.returncode}"
+        assert "drained clean" in stderr, f"no clean-drain notice: {stderr!r}"
+        print("serving smoke: PASS (booted, loaded, drained, scraped, exit 0)")
+        return 0
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

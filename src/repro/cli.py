@@ -17,19 +17,34 @@ replication, admission sheds) and renders the resulting registry in the
 Prometheus text format; ``--from`` renders a snapshot saved by an earlier
 ``simulate``/``query`` run's ``--metrics-out`` instead.
 
+``serve`` mounts a replication group behind the TCP front door
+(:mod:`repro.serving`) until ``SIGTERM``/``Ctrl-C``, which triggers a
+graceful drain and a clean exit 0; ``loadtest`` drives a seeded
+open/closed-loop workload against a front door (an external one, or a
+self-hosted group) and judges the p99s, failure ratio and acked-write
+loss against SLOs.  Both print machine-readable ``port=``/
+``metrics-port=`` lines on stdout when binding ephemeral ports (as does
+``metrics --serve 0``), so scripts never have to guess.
+
 Exit codes (stable; scripts may rely on them):
 
 ======  =========================================================
-0       success (including ``metrics``, ``report``, clean ``verify``)
+0       success (including ``metrics``, ``report``, clean ``verify``,
+        a drained ``serve``)
 1       any other :class:`~repro.core.errors.ReproError`
 2       invalid parameters (bad method, bad thresholds, bad roles)
 3       storage failures (snapshot/WAL/metrics-snapshot I/O, ``OSError``)
 4       query evaluation failures
 5       index integrity failures
 6       data-generation failures
-7       replication/serving failures (staleness, failover exhaustion)
+7       replication/serving failures (staleness, failover exhaustion,
+        retries exhausted against a front door)
 8       integrity damage (``verify`` found checksum-failing artifacts)
 9       chaos invariant-oracle violation (``chaos``; finding, not error)
+10      loadtest SLO violation or acked-write loss (finding, not error)
+130     interrupted before completion (``Ctrl-C`` outside ``serve``/
+        ``metrics --serve``, whose interrupts mean "stop serving" and
+        exit 0 after a drain)
 ======  =========================================================
 """
 
@@ -78,6 +93,8 @@ EXIT_CODES = (
 )
 EXIT_VERIFY_FAILED = 8
 EXIT_CHAOS_ORACLE_FAILED = 9
+EXIT_LOADTEST_FAILED = 10
+EXIT_INTERRUPTED = 130
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,6 +199,86 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on failure, skip shrinking to a minimal reproducer")
     chaos.add_argument("--repro-out", default=None,
                        help="on failure, write the reproducer JSON here")
+    chaos.add_argument("--network", action="store_true",
+                       help="run the schedule through the TCP front door "
+                            "behind a fault-injecting proxy (connection "
+                            "resets, truncated frames, slow-loris, accept "
+                            "stalls) and check the wire invariants too")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a replicated PDR stack over TCP (length-prefixed JSON "
+             "frames) until SIGTERM/Ctrl-C, then drain gracefully",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; the bound port is "
+                            "printed to stdout as `port=N`)")
+    serve.add_argument("--snapshot", default=None,
+                       help="mount this simulate snapshot (default: a fresh "
+                            "seeded workload)")
+    serve.add_argument("--objects", type=int, default=200,
+                       help="objects in the fresh seeded workload")
+    serve.add_argument("--seed", type=int, default=7, help="workload seed")
+    serve.add_argument("--replicas", type=int, default=2,
+                       help="replicas behind the primary")
+    serve.add_argument("--staleness", type=int, default=1_000_000,
+                       help="max LSN lag at which a replica may serve reads")
+    serve.add_argument("--state-dir", default=None,
+                       help="durable state directory (default: a temporary "
+                            "one, removed on exit)")
+    serve.add_argument("--admission-rate", type=float, default=None,
+                       help="token-bucket refill rate (tokens/s); enables "
+                            "the admission controller")
+    serve.add_argument("--read-timeout", type=float, default=30.0,
+                       help="per-connection read timeout (seconds)")
+    serve.add_argument("--max-inflight", type=int, default=16,
+                       help="pipelined requests allowed per connection")
+    serve.add_argument("--drain-deadline", type=float, default=5.0,
+                       help="seconds in-flight requests get to finish on drain")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="also serve /metrics on this port (0 = ephemeral; "
+                            "printed to stdout as `metrics-port=N`)")
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="drive a seeded open/closed-loop load mix against a front door "
+             "and judge latency/loss SLOs (exit 10 = violated)",
+    )
+    lt.add_argument("--host", default=None,
+                    help="target an already-running front door (with --port); "
+                         "default: self-host a fresh group")
+    lt.add_argument("--port", type=int, default=None,
+                    help="target port (with --host)")
+    lt.add_argument("--mix", choices=["report-heavy", "query-heavy", "flash-crowd"],
+                    default="report-heavy", help="operation mix")
+    lt.add_argument("--mode", choices=["closed", "open"], default="closed",
+                    help="closed loop (workers) or open loop (scheduled "
+                         "arrivals, coordinated-omission-free)")
+    lt.add_argument("--duration", type=float, default=5.0,
+                    help="run length in seconds")
+    lt.add_argument("--rate", type=float, default=100.0,
+                    help="open loop: offered ops/second")
+    lt.add_argument("--concurrency", type=int, default=4,
+                    help="worker count (closed loop) / senders (open loop)")
+    lt.add_argument("--seed", type=int, default=7, help="workload seed")
+    lt.add_argument("--objects", type=int, default=64,
+                    help="moving-object id space of the generated reports")
+    lt.add_argument("--replicas", type=int, default=2,
+                    help="self-hosted group: replicas behind the primary")
+    lt.add_argument("--admission-rate", type=float, default=None,
+                    help="self-hosted group: admission token rate (tokens/s)")
+    lt.add_argument("--kill-primary-at", type=float, default=None,
+                    help="self-hosted group: kill the primary this many "
+                         "seconds into the run (failover under load)")
+    lt.add_argument("--report-slo-ms", type=float, default=250.0,
+                    help="report p99 SLO in milliseconds")
+    lt.add_argument("--query-slo-ms", type=float, default=2000.0,
+                    help="query p99 SLO in milliseconds")
+    lt.add_argument("--max-failure-ratio", type=float, default=0.0,
+                    help="fraction of ops allowed to exhaust retries")
+    lt.add_argument("--json-out", default=None,
+                    help="write the full result (latencies, verdicts) here")
 
     met = sub.add_parser(
         "metrics",
@@ -359,6 +456,7 @@ def _cmd_chaos(args) -> int:
         objects=args.objects,
         staleness_bound=args.staleness,
         shrink=not args.no_shrink,
+        network=args.network,
     )
     workdir = tempfile.mkdtemp(prefix="repro-chaos-")
     try:
@@ -371,6 +469,19 @@ def _cmd_chaos(args) -> int:
                 f"{result.stats.get('repairs', 0)} repairs, "
                 f"{result.stats.get('flips', 0)} bit-flips — all oracles green"
             )
+            if args.network:
+                proxy = result.stats.get("proxy", {})
+                wire = result.stats.get("wire", {})
+                print(
+                    f"network: {proxy.get('connections', 0)} proxied "
+                    f"connections, {proxy.get('resets', 0)} resets, "
+                    f"{proxy.get('truncations', 0)} truncations, "
+                    f"{proxy.get('slowloris', 0)} slow-loris, "
+                    f"{proxy.get('stalls', 0)} accept stalls; client retried "
+                    f"{wire.get('retries', 0)}x, honored "
+                    f"{wire.get('sheds_honored', 0)} shed hint(s), acked lsn "
+                    f"{wire.get('max_acked_lsn', 0)} — wire oracles green"
+                )
             return 0
         print(result.format_reproducer(), file=sys.stderr)
         if args.repro_out:
@@ -380,6 +491,123 @@ def _cmd_chaos(args) -> int:
         return EXIT_CHAOS_ORACLE_FAILED
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _cmd_serve(args) -> int:
+    import shutil
+    import signal
+    import tempfile
+    import threading
+
+    from .serving.loadtest import build_serving_group
+    from .serving.server import ServerThread, ServingConfig
+
+    owned_dir = None
+    if args.state_dir is None:
+        owned_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        state_dir = owned_dir + "/state"
+    else:
+        state_dir = args.state_dir
+    if args.snapshot is not None:
+        group = _serving_group(args.snapshot, args.replicas, args.staleness,
+                               state_dir)
+    else:
+        group = build_serving_group(
+            state_dir, objects=args.objects, replicas=args.replicas,
+            seed=args.seed, staleness=args.staleness,
+            admission_rate=args.admission_rate,
+        )
+    thread = ServerThread(group, ServingConfig(
+        host=args.host, port=args.port, read_timeout=args.read_timeout,
+        max_inflight=args.max_inflight, drain_deadline=args.drain_deadline,
+    ))
+    metrics_server = None
+    try:
+        thread.start()
+        host, port = thread.address
+        print(f"port={port}", flush=True)
+        if args.metrics_port is not None:
+            from .telemetry import TELEMETRY, serve_metrics
+
+            metrics_server = serve_metrics(TELEMETRY, port=args.metrics_port)
+            print(f"metrics-port={metrics_server.server_address[1]}", flush=True)
+        print(
+            f"serving on {host}:{port} (epoch {group.epoch}, "
+            f"{len(group.replicas)} replica(s), tnow {group.tnow}); "
+            f"SIGTERM/Ctrl-C drains",
+            file=sys.stderr,
+        )
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        stop.wait()
+        print(
+            f"drain: no new connections; in-flight requests get "
+            f"{args.drain_deadline:.1f}s",
+            file=sys.stderr,
+        )
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+        thread.stop()
+        group.close()
+        if owned_dir is not None:
+            shutil.rmtree(owned_dir, ignore_errors=True)
+    print("drained clean", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+    import shutil
+    import tempfile
+
+    from .serving.loadtest import LoadTestConfig, build_serving_group, run_loadtest
+    from .serving.server import ServerThread, ServingConfig
+
+    if (args.host is None) != (args.port is None):
+        raise InvalidParameterError("--host and --port go together")
+    config = LoadTestConfig(
+        mix=args.mix, mode=args.mode, duration=args.duration, rate=args.rate,
+        concurrency=args.concurrency, seed=args.seed, objects=args.objects,
+        report_slo_p99_ms=args.report_slo_ms, query_slo_p99_ms=args.query_slo_ms,
+        max_failure_ratio=args.max_failure_ratio,
+        kill_primary_at=args.kill_primary_at,
+    )
+    if args.host is not None:
+        if args.kill_primary_at is not None:
+            raise InvalidParameterError(
+                "--kill-primary-at needs a self-hosted group (drop --host)"
+            )
+        result = run_loadtest([(args.host, args.port)], config)
+    else:
+        workdir = tempfile.mkdtemp(prefix="repro-loadtest-")
+        group = build_serving_group(
+            workdir + "/state", objects=max(args.objects, 32),
+            replicas=args.replicas, seed=args.seed,
+            admission_rate=args.admission_rate,
+        )
+        thread = ServerThread(group, ServingConfig()).start()
+
+        def _kill_primary() -> None:
+            def _do() -> None:
+                group.mark_primary_dead()
+                group.failover()
+            thread.call(_do)
+
+        try:
+            result = run_loadtest([thread.address], config,
+                                  kill_primary=_kill_primary)
+        finally:
+            thread.stop()
+            group.close()
+            shutil.rmtree(workdir, ignore_errors=True)
+    print(result.summary())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"full result written to {args.json_out}", file=sys.stderr)
+    return 0 if result.ok else EXIT_LOADTEST_FAILED
 
 
 def _probe_workload(seed: int = 7, objects: int = 48) -> None:
@@ -486,15 +714,24 @@ def _cmd_metrics(args) -> int:
     else:
         print(text, end="" if text.endswith("\n") else "\n")
     if args.serve is not None:
+        import signal
         import threading
 
         server = serve_metrics(TELEMETRY, port=args.serve)
         host, port = server.server_address[:2]
+        # the bound port goes to stdout so scripts can `--serve 0` and read
+        # it back without racing; the human banner stays on stderr
+        print(f"metrics-port={port}", flush=True)
         print(f"serving metrics on http://{host}:{port}/metrics "
               f"(Ctrl-C to stop)", file=sys.stderr)
+        stop = threading.Event()
+        # a handler (not try/except KeyboardInterrupt) so a SIGINT landing
+        # before the wait starts still means "stop serving", exit 0
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
         try:
-            threading.Event().wait()
-        except KeyboardInterrupt:
+            stop.wait()
+        finally:
             server.shutdown()
     return 0
 
@@ -535,6 +772,10 @@ def _dispatch(args) -> int:
         return _cmd_verify(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "report":
@@ -560,6 +801,12 @@ def main(argv=None) -> int:
     except OSError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 3
+    except KeyboardInterrupt:
+        # long-running subcommands that *serve* handle SIGINT themselves
+        # (drain, exit 0); anywhere else a Ctrl-C is an abandoned run,
+        # reported in the shell convention (128 + SIGINT), traceback-free
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

@@ -150,6 +150,52 @@ class FailoverError(ReplicationError):
     """
 
 
+class ServingError(ReplicationError):
+    """Base class for network front-door (TCP serving / client) failures."""
+
+
+class ProtocolError(ServingError):
+    """A wire frame violated the length-prefixed JSON protocol.
+
+    Raised on oversized frames, truncated frames, non-JSON payloads and
+    unknown operations.  ``code`` is the stable wire error code the
+    server reports (``bad_frame``, ``frame_too_large``, ``bad_request``).
+    """
+
+    def __init__(self, message: str, code: str = "bad_frame"):
+        super().__init__(message)
+        self.code = code
+
+
+class DrainingError(ServingError):
+    """The server is draining and no longer accepts new work.
+
+    ``retry_after`` (seconds) tells the client when to try another
+    endpoint — a draining server finishes its in-flight requests but
+    every new frame is politely refused.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ClientError(ServingError):
+    """Base class for resilient-client failures surfaced to the caller."""
+
+
+class RetriesExhaustedError(ClientError):
+    """The client spent its whole retry budget without an answer.
+
+    ``last_error`` preserves the final failure (connection error, shed,
+    staleness, ...) so callers can distinguish overload from outage.
+    """
+
+    def __init__(self, message: str, last_error=None):
+        super().__init__(message)
+        self.last_error = last_error
+
+
 class AdmissionRejectedError(QueryError):
     """The admission controller shed this query to protect the group.
 

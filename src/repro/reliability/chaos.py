@@ -20,6 +20,42 @@ seeded schedule of events:
 ``flip_ckpt``           one byte of a checkpoint image XOR-flipped
 ======================  ================================================
 
+With ``ChaosConfig.network`` the same seeded schedule runs *through the
+wire*: the group is mounted behind a
+:class:`~repro.serving.server.PDRTCPServer` (on its own thread), a
+:class:`~repro.serving.netchaos.ChaosProxy` sits in front, and every
+``report``/``retire``/``advance``/``query`` event travels through a
+seeded :class:`~repro.serving.client.ResilientClient`.  Four extra event
+kinds arm socket-level faults on the proxy (consumed by the next
+connection, which the client is forced to open):
+
+======================  ================================================
+``net_reset``           hard-RST the client right after the server's
+                        response — the ack is durable, the client never
+                        hears it
+``net_truncate``        the next response frame is cut mid-body
+``net_slowloris``       the next request dribbles in 2-byte sips; the
+                        server's read timeout must cut it loose
+``net_stall``           the proxy stops accepting for a window
+======================  ================================================
+
+Direct group manipulation (partitions, crashes, flips) and every oracle
+sweep run on the server's single backend thread via
+:meth:`~repro.serving.server.ServerThread.call`, preserving the
+serialization discipline.  Network mode keeps all six oracles and adds
+two wire invariants:
+
+7. *no acked wire loss*: every LSN the server acknowledged **to the
+   client** — across resets, truncations and failovers — is covered by
+   the acting primary's durable WAL;
+8. *shed retry hints*: every ``shed``/``draining`` error frame the
+   client ever saw carried ``retry_after`` (the client counts absences).
+
+To make sheds actually happen (and stop happening) deterministically,
+network campaigns give the group an admission controller on its virtual
+clock and tick that clock a fixed amount per event — token refill is a
+pure function of the event index, not of wall time.
+
 Bit-flips go through :func:`~repro.reliability.integrity.flip_byte`,
 which hits the ``integrity.flip`` fault site of the shared
 :class:`~repro.reliability.faults.FaultInjector` (whose counters are
@@ -100,9 +136,15 @@ class ChaosConfig:
     oracle_every: int = 25  # full oracle sweep cadence (events)
     shrink: bool = True
     max_shrink_runs: int = 120
+    # --- network mode: run the schedule through TCP + a chaos proxy ---
+    network: bool = False
+    min_net_disruptions: int = 4  # socket faults forced into the schedule
+    net_admission_rate: float = 25.0  # tokens/s on the group's virtual clock
+    net_admission_burst: float = 4.0  # tight: query bursts must shed
+    net_clock_tick: float = 0.02  # virtual seconds ticked per event
 
     def weights(self) -> List[Tuple[str, float]]:
-        return [
+        base = [
             ("report", 42.0),
             ("advance", 18.0),
             ("retire", 4.0),
@@ -116,9 +158,18 @@ class ChaosConfig:
             ("flip_wal", 4.0),
             ("flip_ckpt", 3.0),
         ]
+        if self.network:
+            base += [
+                ("net_reset", 3.0),
+                ("net_truncate", 2.0),
+                ("net_slowloris", 1.0),
+                ("net_stall", 1.0),
+            ]
+        return base
 
 
 DISRUPTIONS = ("crash_primary", "crash_replica", "flip_wal", "flip_ckpt")
+NET_DISRUPTIONS = ("net_reset", "net_truncate", "net_slowloris", "net_stall")
 
 
 @dataclass
@@ -202,6 +253,41 @@ def ddmin(events: List[Event], fails: Callable[[List[Event]], bool],
     return events
 
 
+class _NetworkHarness:
+    """Front door + chaos proxy + resilient client around one group.
+
+    All timeouts are campaign-sized (short): a slow-loris request must be
+    cut loose in half a second, not thirty.  The client is seeded from
+    the campaign seed so its jitter replays.
+    """
+
+    def __init__(self, group, seed: int) -> None:
+        # imported lazily: chaos stays importable without the serving
+        # extras ever having been touched, and there is no cycle
+        from ..serving.client import ClientConfig, ResilientClient
+        from ..serving.netchaos import ChaosProxy
+        from ..serving.server import ServerThread, ServingConfig
+
+        self.thread = ServerThread(group, ServingConfig(
+            read_timeout=0.5, write_timeout=2.0, drain_deadline=1.0,
+        )).start()
+        self.proxy = ChaosProxy(self.thread.address)
+        self.client = ResilientClient([self.proxy.address], ClientConfig(
+            connect_timeout=0.5, request_timeout=1.5, max_attempts=6,
+            backoff_base=0.01, backoff_cap=0.15, retry_after_cap=0.25,
+            seed=seed, breaker_threshold=5, breaker_probation_seconds=0.2,
+        ))
+
+    def call(self, fn, *args, **kwargs):
+        """Run ``fn`` on the server's single backend thread; blocks."""
+        return self.thread.call(fn, *args, **kwargs)
+
+    def close(self) -> None:
+        self.client.close()
+        self.proxy.close()
+        self.thread.stop()
+
+
 class ChaosScheduler:
     """Generate, execute, oracle-check and shrink seeded chaos schedules.
 
@@ -241,6 +327,15 @@ class ChaosScheduler:
             kind = rng.choice(DISRUPTIONS)
             events[idx] = self._make_event(kind, rng)
             have += 1
+        if cfg.network:  # and actually exercises the wire fault matrix
+            have_net = sum(1 for e in events if e[0] in NET_DISRUPTIONS)
+            while have_net < cfg.min_net_disruptions and events:
+                idx = rng.randrange(len(events))
+                if events[idx][0] in DISRUPTIONS + NET_DISRUPTIONS:
+                    continue
+                kind = rng.choice(NET_DISRUPTIONS)
+                events[idx] = self._make_event(kind, rng)
+                have_net += 1
         return events
 
     def _make_event(self, kind: str, rng: random.Random) -> Event:
@@ -273,6 +368,10 @@ class ChaosScheduler:
             # fractions resolve to a concrete file/offset at execution
             # time, so the event stays meaningful under shrinking
             return (kind, rng.random(), rng.random(), rng.randrange(1, 256))
+        if kind in ("net_reset", "net_truncate", "net_slowloris"):
+            return (kind,)
+        if kind == "net_stall":
+            return ("net_stall", rng.randrange(1, 4))  # tenths of a second
         raise ValueError(f"unknown chaos event kind {kind!r}")
 
     # ------------------------------------------------------------------
@@ -299,10 +398,21 @@ class ChaosScheduler:
             faults=self.faults,
         )
         primary = PDRServer(system, expected_objects=cfg.objects, reliability=rc)
+        admission = None
+        if cfg.network and cfg.net_admission_rate > 0:
+            # the bucket runs on the primary's *virtual* clock, which
+            # execute() ticks a fixed amount per event: refill — and so
+            # the shed/admit pattern — is a function of the schedule
+            from .admission import AdmissionConfig
+
+            admission = AdmissionConfig(
+                rate=cfg.net_admission_rate, burst=cfg.net_admission_burst,
+            )
         return ReplicationGroup(
             primary,
             n_replicas=cfg.replicas,
             config=ReplicationConfig(staleness_bound=cfg.staleness_bound),
+            admission=admission,
         )
 
     def execute(self, events: List[Event]) -> Tuple[Optional[ChaosFailure], dict, str]:
@@ -320,8 +430,16 @@ class ChaosScheduler:
         self.faults.clear()
         self.faults.reset_counters()
         group = self._build_group(state_dir)
+        net: Optional[_NetworkHarness] = None
+        if self.config.network:
+            net = _NetworkHarness(group, self.config.seed)
+        # direct access and oracle sweeps go through the server's single
+        # backend thread in network mode — the one serialization point
+        gcall = net.call if net is not None else (lambda fn, *a, **k: fn(*a, **k))
         stats = {"events": 0, "oracle_sweeps": 0, "failovers": 0,
                  "repairs": 0, "flips": 0, "replica_crashes": 0}
+        if net is not None:
+            stats["wire_failures"] = 0
         max_acked = 0
         joined = 0
         failure: Optional[ChaosFailure] = None
@@ -331,23 +449,27 @@ class ChaosScheduler:
                 stats[event[0]] = stats.get(event[0], 0) + 1
                 oracle_due = False
                 try:
-                    oracle_due, joined = self._apply_event(group, event, stats, joined)
+                    oracle_due, joined = self._apply_event(
+                        group, event, stats, joined, net=net
+                    )
+                    if net is not None and self.config.net_clock_tick > 0:
+                        gcall(group.clock.sleep, self.config.net_clock_tick)
                 except (ReproError, AssertionError) as exc:
                     failure = ChaosFailure(
                         index, event, "no-unexpected-error",
                         f"{type(exc).__name__}: {exc}",
                     )
                     break
-                max_acked = max(max_acked, group.acked_lsn)
+                max_acked = max(max_acked, gcall(lambda: group.acked_lsn))
                 if oracle_due or (index + 1) % self.config.oracle_every == 0:
                     stats["oracle_sweeps"] += 1
-                    verdict = self._check_oracles(group, max_acked)
+                    verdict = self._check_oracles(group, max_acked, net=net)
                     if verdict is not None:
                         failure = ChaosFailure(index, event, *verdict)
                         break
             if failure is None:
                 stats["oracle_sweeps"] += 1
-                verdict = self._check_oracles(group, max_acked)
+                verdict = self._check_oracles(group, max_acked, net=net)
                 if verdict is not None:
                     failure = ChaosFailure(
                         len(events) - 1, events[-1] if events else ("empty",),
@@ -355,11 +477,97 @@ class ChaosScheduler:
                     )
         finally:
             stats["flips"] = self.faults.hits("integrity.flip")
+            if net is not None:
+                stats["wire"] = net.client.report_stats()
+                stats["proxy"] = dict(net.proxy.stats)
+                net.close()
             group.close()
         return failure, stats, state_dir
 
-    def _apply_event(self, group, event: Event, stats: dict, joined: int):
-        """Execute one event; returns ``(oracle_due, joined)``."""
+    def _apply_event(self, group, event: Event, stats: dict, joined: int,
+                     net: Optional[_NetworkHarness] = None):
+        """Execute one event; returns ``(oracle_due, joined)``.
+
+        In network mode the workload ops travel through the resilient
+        client; ``net_*`` events arm the proxy; everything else touches
+        the group directly — on the server's backend thread.
+        """
+        kind = event[0]
+        if net is not None:
+            if kind in ("report", "retire", "advance", "query"):
+                return self._apply_event_wire(group, event, stats, joined, net)
+            if kind in NET_DISRUPTIONS:
+                return self._apply_net_event(net, event, stats, joined)
+            return net.call(
+                self._apply_event_direct, group, event, stats, joined
+            )
+        return self._apply_event_direct(group, event, stats, joined)
+
+    def _apply_event_wire(self, group, event: Event, stats: dict,
+                          joined: int, net: _NetworkHarness):
+        """One workload op through proxy + client, riding out wire faults.
+
+        A retried op can double-apply (a reset arrives after the server
+        committed): re-reports replace the same motion, double retires
+        quarantine, a duplicated advance is one extra tick — all inside
+        the chaos fault model, and every duplicate is WAL-logged, so the
+        oracles hold regardless.
+        """
+        from ..core.errors import ServingError
+
+        kind = event[0]
+        try:
+            if kind == "report":
+                net.client.report(*event[1:])
+            elif kind == "retire":
+                net.client.retire(event[1])
+            elif kind == "advance":
+                t = net.call(lambda: group.tnow) + 1
+                net.client.advance(to=t)  # explicit `to`: retries idempotent
+            elif kind == "query":
+                method, offset = event[1], event[2]
+                frame = net.client.query(
+                    method, qt_offset=offset, varrho=2.0, max_regions=8
+                )
+                net.call(self._assert_staleness, group, frame.get("served_by"))
+        except ServingError:
+            # sheds that never recovered, retries exhausted mid-fault,
+            # truncated frames: tolerated losses — the client already
+            # recorded what the oracles care about (acked LSNs, missing
+            # retry_after hints)
+            stats["wire_failures"] += 1
+        if kind == "advance":
+            # the contract (and the tick, if the wire ate it) must hold
+            # whatever happened on the wire
+            net.call(self._ensure_advanced, group, t)
+        return False, joined
+
+    def _ensure_advanced(self, group, t: int) -> None:
+        if group.tnow < t:
+            group.advance_to(t)
+        self._honor_update_contract(group, group.tnow)
+
+    def _apply_net_event(self, net: _NetworkHarness, event: Event,
+                         stats: dict, joined: int):
+        """Arm one socket fault; the client's next connection consumes it.
+
+        The client pins one connection, so arming alone would never
+        fire — it is told to reconnect, making fault consumption a
+        deterministic property of the schedule, not of socket luck.
+        """
+        kind = event[0]
+        if kind == "net_reset":
+            net.proxy.reset_next()
+        elif kind == "net_truncate":
+            net.proxy.truncate_next()
+        elif kind == "net_slowloris":
+            net.proxy.slowloris_next(1, delay=0.06)
+        elif kind == "net_stall":
+            net.proxy.stall_accept(0.1 * event[1])
+        net.client.reconnect()
+        return False, joined
+
+    def _apply_event_direct(self, group, event: Event, stats: dict, joined: int):
         kind = event[0]
         oracle_due = False
         if kind == "report":
@@ -484,7 +692,9 @@ class ChaosScheduler:
     # oracles
     # ------------------------------------------------------------------
     def _note_served(self, group, result) -> None:
-        served = result.served_by
+        self._assert_staleness(group, result.served_by)
+
+    def _assert_staleness(self, group, served) -> None:
         if served and served != group.primary_name:
             for replica in group.replicas:
                 if replica.name == served:
@@ -497,10 +707,35 @@ class ChaosScheduler:
                             f"> bound {group.replication.staleness_bound}"
                         )
 
-    def _check_oracles(self, group, max_acked: int) -> Optional[Tuple[str, str]]:
-        verdict = self._run_oracles(group, max_acked)
+    def _check_oracles(self, group, max_acked: int,
+                       net: Optional[_NetworkHarness] = None,
+                       ) -> Optional[Tuple[str, str]]:
+        if net is not None:
+            verdict = net.call(self._run_oracles, group, max_acked)
+            if verdict is None:
+                verdict = self._check_wire_oracles(group, net)
+        else:
+            verdict = self._run_oracles(group, max_acked)
         tm.CHAOS_ORACLES.labels("fail" if verdict is not None else "pass").inc()
         return verdict
+
+    def _check_wire_oracles(self, group,
+                            net: _NetworkHarness) -> Optional[Tuple[str, str]]:
+        """The two network invariants, from the client's point of view."""
+        wal = net.call(lambda: group.primary.wal_lsn or 0)
+        if net.client.max_acked_lsn > wal:
+            return (
+                "no-acked-wire-loss",
+                f"client holds ack for lsn {net.client.max_acked_lsn} but "
+                f"the primary WAL stops at {wal}",
+            )
+        if net.client.sheds_missing_retry_after > 0:
+            return (
+                "shed-retry-after",
+                f"{net.client.sheds_missing_retry_after} shed/draining "
+                "frame(s) arrived without retry_after",
+            )
+        return None
 
     def _run_oracles(self, group, max_acked: int) -> Optional[Tuple[str, str]]:
         try:

@@ -456,6 +456,18 @@ class ReplicationGroup:
         self.pump()
         return out
 
+    def report_batch(self, reports):
+        """Apply one wave of reports through the primary and ship it.
+
+        The wave is group-committed on the primary (one fsync) and every
+        logged record is shipped in LSN order, so replicas converge to
+        the same bit-exact state the sequential path would produce.
+        """
+        out = self.primary.report_batch(reports)
+        self.coordinator.note_heartbeat()
+        self.pump()
+        return out
+
     def retire(self, oid) -> bool:
         out = self.primary.retire(oid)
         self.coordinator.note_heartbeat()

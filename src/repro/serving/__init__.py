@@ -1,0 +1,56 @@
+"""Network front door: TCP serving, resilient client, load harness.
+
+This package turns the in-process reliability stack (admission control,
+deadline ladder, replication with epoch-fenced failover) into a *served*
+system:
+
+* :mod:`.protocol` — the length-prefixed JSON wire format, its stable
+  error codes, and sync + asyncio frame I/O helpers;
+* :mod:`.server` — an asyncio TCP server mounting a
+  :class:`~repro.core.system.PDRServer` or
+  :class:`~repro.reliability.replication.ReplicationGroup` behind
+  per-connection timeouts, frame/inflight limits, structured error
+  frames (``retry_after``, ``not_primary`` redirects) and graceful
+  drain; :class:`~repro.serving.server.ServerThread` hosts it inside a
+  thread for the CLI, tests and the load harness;
+* :mod:`.client` — a resilient client: capped exponential backoff with
+  jitter, ``retry_after`` honoring, primary re-discovery on epoch
+  change, and per-endpoint circuit breakers;
+* :mod:`.loadtest` — open/closed-loop load generation with
+  report-heavy / query-heavy / flash-crowd mixes, reporting
+  p50/p95/p99 against SLOs;
+* :mod:`.netchaos` — a socket-level fault-injecting proxy (connection
+  resets, slow-loris reads, truncated frames, accept-queue stalls)
+  driven by :mod:`repro.reliability.chaos`'s seeded scheduler.
+"""
+
+from .client import ClientConfig, ResilientClient
+from .loadtest import LoadTestConfig, LoadTestResult, run_loadtest
+from .netchaos import ChaosProxy
+from .protocol import (
+    DEFAULT_MAX_FRAME,
+    ERROR_CODES,
+    decode_frame,
+    encode_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+from .server import PDRTCPServer, ServerThread, ServingConfig
+
+__all__ = [
+    "ClientConfig",
+    "ResilientClient",
+    "LoadTestConfig",
+    "LoadTestResult",
+    "run_loadtest",
+    "ChaosProxy",
+    "DEFAULT_MAX_FRAME",
+    "ERROR_CODES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame_sync",
+    "write_frame_sync",
+    "PDRTCPServer",
+    "ServerThread",
+    "ServingConfig",
+]

@@ -1,0 +1,283 @@
+"""Socket-level fault injection: a chaos proxy for the TCP front door.
+
+:class:`ChaosProxy` sits between a client and a real
+:class:`~repro.serving.server.PDRTCPServer`, forwarding bytes both ways
+— until told to misbehave.  Faults are *armed* (by the seeded chaos
+scheduler, or a test) and consumed by the next connections/frames that
+pass through, so campaigns stay deterministic in *what* breaks even
+though socket timing is real:
+
+======================  ================================================
+:meth:`reset_next`       hard-RST the client side of the next N
+                         connections as soon as the server responds —
+                         the ack may already be durable, the client just
+                         never hears it (the acked-write-loss oracle's
+                         favourite case)
+:meth:`truncate_next`    forward only half of the server's next response
+                         then close — a frame cut mid-body, which the
+                         length-prefixed protocol must detect, never
+                         misparse
+:meth:`slowloris_next`   dribble the next client request toward the
+                         server a few bytes at a time with delays — the
+                         server's per-frame read timeout must cut the
+                         connection loose
+:meth:`stall_accept`     hold freshly accepted connections unserved for
+                         a window — the handshake succeeds (kernel
+                         backlog) but requests hang; client request
+                         timeouts and backoff territory
+======================  ================================================
+
+The proxy is threaded (one pump pair per connection) and owns no
+protocol knowledge beyond "bytes flow in two directions"; every fault is
+expressible as byte-stream surgery, exactly like a misbehaving network.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import List, Optional, Tuple
+
+__all__ = ["ChaosProxy"]
+
+
+class _FaultBudget:
+    """Thread-safe armed-fault counters consumed by pump threads."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.reset = 0
+        self.truncate = 0
+        self.slowloris = 0
+        self.slowloris_delay = 0.1
+        self.stall_until = 0.0
+
+    def take(self, name: str) -> bool:
+        with self.lock:
+            if getattr(self, name) > 0:
+                setattr(self, name, getattr(self, name) - 1)
+                return True
+            return False
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of one server address."""
+
+    def __init__(self, target: Tuple[str, int], host: str = "127.0.0.1") -> None:
+        self.target = tuple(target)
+        self._budget = _FaultBudget()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self._listener.settimeout(0.1)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._closing = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self.stats = {"connections": 0, "resets": 0, "truncations": 0,
+                      "slowloris": 0, "stalls": 0}
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # fault arming (called by the scheduler / tests)
+    # ------------------------------------------------------------------
+    def reset_next(self, n: int = 1) -> None:
+        with self._budget.lock:
+            self._budget.reset += n
+
+    def truncate_next(self, n: int = 1) -> None:
+        with self._budget.lock:
+            self._budget.truncate += n
+
+    def slowloris_next(self, n: int = 1, delay: float = 0.1) -> None:
+        with self._budget.lock:
+            self._budget.slowloris += n
+            self._budget.slowloris_delay = delay
+
+    def stall_accept(self, seconds: float) -> None:
+        """Stop accepting new connections for ``seconds`` from now."""
+        with self._budget.lock:
+            self._budget.stall_until = time.monotonic() + seconds
+        self.stats["stalls"] += 1
+
+    # ------------------------------------------------------------------
+    # proxying
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            # accept-queue stall: the kernel backlog already completed
+            # the handshake, so connects "succeed" — the connection just
+            # is not served until the window passes (requests hang)
+            while not self._closing.is_set():
+                with self._budget.lock:
+                    remaining = self._budget.stall_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                time.sleep(min(remaining, 0.05))
+            self.stats["connections"] += 1
+            thread = threading.Thread(
+                target=self._serve_connection, args=(client,),
+                name="chaos-proxy-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        try:
+            upstream = socket.create_connection(self.target, timeout=5.0)
+        except OSError:
+            client.close()
+            return
+        for sock in (client, upstream):  # do not add Nagle stalls of our own
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+        # decide this connection's faults up front (budget semantics:
+        # one armed fault afflicts one connection)
+        do_reset = self._budget.take("reset")
+        do_truncate = self._budget.take("truncate")
+        do_slowloris = self._budget.take("slowloris")
+        if do_reset:
+            self.stats["resets"] += 1
+        if do_truncate:
+            self.stats["truncations"] += 1
+        if do_slowloris:
+            self.stats["slowloris"] += 1
+        stop = threading.Event()
+        c2s = threading.Thread(
+            target=self._pump_c2s, args=(client, upstream, do_slowloris, stop),
+            daemon=True,
+        )
+        s2c = threading.Thread(
+            target=self._pump_s2c,
+            args=(client, upstream, do_reset, do_truncate, stop),
+            daemon=True,
+        )
+        c2s.start()
+        s2c.start()
+        c2s.join()
+        s2c.join()
+        for sock in (client, upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump_c2s(self, client: socket.socket, upstream: socket.socket,
+                  slowloris: bool, stop: threading.Event) -> None:
+        """client -> server; slow-loris dribbles the bytes with delays."""
+        client.settimeout(0.2)
+        while not stop.is_set() and not self._closing.is_set():
+            try:
+                data = client.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not data:
+                break
+            try:
+                if slowloris:
+                    delay = self._budget.slowloris_delay
+                    for i in range(0, len(data), 2):
+                        upstream.sendall(data[i:i + 2])
+                        time.sleep(delay)
+                        if stop.is_set() or self._closing.is_set():
+                            break
+                    slowloris = False  # only the first request dribbles
+                else:
+                    upstream.sendall(data)
+            except OSError:
+                break
+        stop.set()
+        try:
+            upstream.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def _pump_s2c(self, client: socket.socket, upstream: socket.socket,
+                  reset: bool, truncate: bool, stop: threading.Event) -> None:
+        """server -> client; reset/truncate strike on the first response."""
+        upstream.settimeout(0.2)
+        while not stop.is_set() and not self._closing.is_set():
+            try:
+                data = upstream.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not data:
+                break
+            if reset:
+                # the server answered (the write may be durably acked);
+                # the client never hears it: RST instead of the response
+                self._rst(client)
+                break
+            if truncate:
+                cut = self._truncation_point(data)
+                try:
+                    if cut:
+                        client.sendall(data[:cut])
+                except OSError:
+                    pass
+                try:
+                    client.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                break
+            try:
+                client.sendall(data)
+            except OSError:
+                break
+        stop.set()
+        try:
+            client.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _truncation_point(data: bytes) -> int:
+        """Cut inside the frame body (after the prefix when possible)."""
+        if len(data) >= 4:
+            (length,) = struct.unpack(">I", data[:4])
+            body = min(length, len(data) - 4)
+            return 4 + max(0, body // 2)
+        return len(data) // 2
+
+    @staticmethod
+    def _rst(sock: socket.socket) -> None:
+        """Abortive close: SO_LINGER(1, 0) turns close() into a RST."""
+        try:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=1.0)

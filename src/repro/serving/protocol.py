@@ -1,0 +1,191 @@
+"""The wire protocol: length-prefixed JSON frames and stable error codes.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON (one object).  The prefix makes message boundaries
+explicit — a reader always knows whether it holds a whole message, so a
+connection cut mid-frame is *detectably* truncated instead of silently
+reinterpreted.
+
+Requests carry ``op`` plus op-specific fields::
+
+    {"op": "report", "oid": 3, "x": 10.0, "y": 20.0, "vx": 0.5, "vy": 0.0}
+    {"op": "report_batch", "reports": [[0, 1.0, 2.0, 0.1, 0.2], ...]}
+    {"op": "fr_query", "qt_offset": 1, "varrho": 2.0, "deadline": 0.5}
+    {"op": "pa_query", "qt_offset": 0, "rho": 0.004, "l": 10.0}
+    {"op": "retire", "oid": 3}
+    {"op": "advance", "to": 17}          # "to" optional: default tnow+1
+    {"op": "health"}                      # liveness + readiness + topology
+    {"op": "drain"}                       # begin graceful drain
+    {"op": "status"}                      # replication topology (groups)
+
+Responses always carry ``ok``.  Success frames add op-specific payload
+plus ``epoch`` (the fencing epoch that served the request — the client's
+re-discovery signal).  Error frames look like::
+
+    {"ok": false, "error": "shed", "message": "...", "retry_after": 0.31,
+     "epoch": 2}
+    {"ok": false, "error": "not_primary", "redirect": ["10.0.0.5", 9731],
+     "epoch": 3}
+
+``error`` is one of :data:`ERROR_CODES`; ``retry_after`` (seconds) is
+**always present** on ``shed`` and ``draining`` frames — that invariant
+is one of the chaos oracles — and ``redirect`` names the acting
+primary's advertised address when known.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional, Tuple
+
+from ..core.errors import ProtocolError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "LENGTH_PREFIX",
+    "ERROR_CODES",
+    "encode_frame",
+    "decode_frame",
+    "read_frame_sync",
+    "write_frame_sync",
+    "read_frame_async",
+]
+
+LENGTH_PREFIX = struct.Struct(">I")
+DEFAULT_MAX_FRAME = 1 << 20  # 1 MiB of JSON is already a pathological frame
+
+# The stable wire error codes (scripts and the client switch on these).
+ERROR_CODES = (
+    "bad_frame",        # undecodable frame (not JSON / not an object)
+    "frame_too_large",  # length prefix exceeds the server's max frame
+    "bad_request",      # missing/invalid fields or unknown op
+    "too_many_inflight",  # per-connection inflight cap hit; retryable
+    "shed",             # admission control shed the request (retry_after)
+    "draining",         # server is draining; go elsewhere (retry_after)
+    "not_primary",      # writes must go to the acting primary (redirect)
+    "staleness",        # no backend within the staleness bound
+    "deadline",         # the query missed its deadline on every rung
+    "query_failed",     # evaluation failed; not retryable as-is
+    "internal",         # unexpected server-side failure
+)
+
+
+def encode_frame(message: dict, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize one message to its on-wire bytes (prefix + JSON)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {max_frame}-byte limit",
+            code="frame_too_large",
+        )
+    return LENGTH_PREFIX.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict:
+    """Parse a frame body; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# ----------------------------------------------------------------------
+# blocking (client-side) frame I/O
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(
+    sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[dict]:
+    """Read one frame from a blocking socket (``None`` on clean EOF).
+
+    Truncation anywhere — inside the prefix or inside the body — raises
+    :class:`ProtocolError`: an interrupted frame is never mistaken for a
+    short message.
+    """
+    prefix = _recv_exact(sock, LENGTH_PREFIX.size)
+    if prefix is None:
+        return None
+    (length,) = LENGTH_PREFIX.unpack(prefix)
+    if length > max_frame:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (limit {max_frame})",
+            code="frame_too_large",
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between prefix and body")
+    return decode_frame(body)
+
+
+def write_frame_sync(
+    sock: socket.socket, message: dict, max_frame: int = DEFAULT_MAX_FRAME
+) -> None:
+    sock.sendall(encode_frame(message, max_frame=max_frame))
+
+
+# ----------------------------------------------------------------------
+# asyncio (server-side) frame I/O
+# ----------------------------------------------------------------------
+async def read_frame_async(
+    reader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[Tuple[dict, int]]:
+    """Read one frame from an asyncio stream.
+
+    Returns ``(message, announced_length)`` — the length is surfaced so
+    the server can reject an oversized announcement *before* buffering
+    it (the bytes are drained and discarded, keeping the stream framed).
+    ``None`` means clean EOF.  Raises :class:`ProtocolError` on
+    truncation or garbage, like the sync reader.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(LENGTH_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a length prefix") from exc
+    (length,) = LENGTH_PREFIX.unpack(prefix)
+    if length > max_frame:
+        # drain the announced bytes so the connection stays framed, then
+        # let the server answer with a structured frame_too_large error
+        remaining = length
+        while remaining > 0:
+            chunk = await reader.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (limit {max_frame})",
+            code="frame_too_large",
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return decode_frame(body), length

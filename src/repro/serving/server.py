@@ -1,0 +1,510 @@
+"""The asyncio TCP front door for a PDR serving stack.
+
+:class:`PDRTCPServer` mounts a backend — a single
+:class:`~repro.core.system.PDRServer` or a whole
+:class:`~repro.reliability.replication.ReplicationGroup` (admission
+controller, deadline ladder, staleness router and failover included) —
+behind the length-prefixed JSON protocol of :mod:`.protocol`:
+
+* **Per-connection limits.**  Reads and writes carry timeouts (a
+  slow-loris peer cannot hold a connection forever), frames above
+  ``max_frame`` are refused with a structured error *without* breaking
+  the stream framing, and at most ``max_inflight`` requests may be
+  pipelined per connection — the excess is answered ``too_many_inflight``
+  immediately rather than queued without bound.
+* **One writer thread.**  The backend is single-threaded state; every
+  backend operation (and every control call from
+  :meth:`ServerThread.call`) runs on one dedicated executor thread, so
+  the event loop stays free for I/O while state access is serialized —
+  the same discipline the in-process stack always assumed.
+* **Structured errors.**  Admission sheds carry the token bucket's
+  ``retry_after`` verbatim; writes reaching a non-primary return
+  ``not_primary`` with a ``redirect``; a draining server answers
+  ``draining`` (also with ``retry_after``) instead of hanging up.
+* **Graceful drain.**  :meth:`PDRTCPServer.drain` stops accepting,
+  finishes in-flight requests up to ``drain_deadline`` seconds, then
+  closes every connection; ``SIGTERM`` in the CLI maps to exactly this.
+* **Liveness vs readiness.**  The ``health`` op answers inline (never
+  behind the backend executor) — a busy or draining server is still
+  *live*; ``ready`` flips false the moment drain starts, which is what
+  a load balancer keys on.  The Prometheus scrape endpoint
+  (:func:`~repro.telemetry.exporters.serve_metrics`) is a separate HTTP
+  listener and never competes with request traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from ..core.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    NotPrimaryError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    ServingError,
+    StalenessExceededError,
+)
+from ..telemetry import instruments as tm
+from .protocol import DEFAULT_MAX_FRAME, encode_frame, read_frame_async
+
+__all__ = ["ServingConfig", "PDRTCPServer", "ServerThread"]
+
+
+@dataclass
+class ServingConfig:
+    """Front-door knobs (timeouts in seconds)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is in .address
+    read_timeout: float = 30.0
+    write_timeout: float = 10.0
+    max_frame: int = DEFAULT_MAX_FRAME
+    max_inflight: int = 16  # pipelined requests per connection
+    drain_deadline: float = 5.0
+    drain_retry_after: float = 1.0  # hint on `draining` error frames
+    advertise: Optional[Tuple[str, int]] = None  # address told to clients
+    primary_address: Optional[Tuple[str, int]] = None  # redirect target
+
+
+class _Connection:
+    """Per-connection bookkeeping: write lock and inflight counter."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.inflight = 0
+
+
+class PDRTCPServer:
+    """One TCP listener over one backend (server or replication group)."""
+
+    def __init__(self, backend, config: Optional[ServingConfig] = None) -> None:
+        self.backend = backend
+        self.config = config or ServingConfig()
+        self.draining = False
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[_Connection] = set()
+        self._tasks: Set[asyncio.Task] = set()
+        self._drained = asyncio.Event()
+        self._drain_started = False
+        # the single backend thread: state access is serialized here
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="pdr-backend"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def drain(self) -> float:
+        """Stop accepting, finish in-flight work, close; returns seconds.
+
+        Idempotent: concurrent callers all wait for the one drain.
+        """
+        if self._drain_started:
+            await self._drained.wait()
+            return 0.0
+        self._drain_started = True
+        t0 = time.perf_counter()
+        self.draining = True  # readiness flips false; new frames refused
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [t for t in self._tasks if not t.done()]
+        if pending:
+            done, still_pending = await asyncio.wait(
+                pending, timeout=self.config.drain_deadline
+            )
+            for task in still_pending:  # past the deadline: cut them off
+                task.cancel()
+        for conn in list(self._connections):
+            self._close_connection(conn, "drained")
+        duration = time.perf_counter() - t0
+        tm.DRAIN_SECONDS.observe(duration)
+        self._drained.set()
+        return duration
+
+    def shutdown_executor(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # backend introspection (duck-typed over server vs group)
+    # ------------------------------------------------------------------
+    @property
+    def _is_group(self) -> bool:
+        return hasattr(self.backend, "primary")
+
+    def _epoch(self) -> int:
+        return int(self.backend.epoch)
+
+    def _lsn(self) -> int:
+        if self._is_group:
+            return int(self.backend.acked_lsn)
+        return int(self.backend.wal_lsn or 0)
+
+    def _role(self) -> str:
+        if self._is_group:
+            return "primary" if self.backend.primary_alive else "unavailable"
+        return self.backend.role
+
+    def _health_payload(self) -> dict:
+        return {
+            "ok": True,
+            "live": True,
+            "ready": not self.draining and self._role() == "primary",
+            "draining": self.draining,
+            "role": self._role(),
+            "epoch": self._epoch(),
+            "lsn": self._lsn(),
+            "tnow": int(self.backend.tnow),
+            "advertise": list(self.config.advertise or self.address or ()),
+        }
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # response frames are small; without this Nagle + delayed ACK
+            # stalls every request/response pair tens of milliseconds
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        tm.CONNECTIONS_ACTIVE.inc()
+        outcome = "closed"
+        try:
+            while True:
+                try:
+                    framed = await asyncio.wait_for(
+                        read_frame_async(reader, self.config.max_frame),
+                        timeout=self.config.read_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    outcome = "timeout"
+                    break
+                except ProtocolError as exc:
+                    await self._send(conn, self._error_frame(exc.code, str(exc)))
+                    if exc.code == "frame_too_large":
+                        continue  # the oversized body was drained; stream ok
+                    outcome = "reset"
+                    break  # truncated/garbage: framing is lost, hang up
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    outcome = "reset"
+                    break
+                if framed is None:
+                    break  # clean EOF
+                message, _length = framed
+                if conn.inflight >= self.config.max_inflight:
+                    await self._send(conn, self._error_frame(
+                        "too_many_inflight",
+                        f"connection has {conn.inflight} requests in flight "
+                        f"(cap {self.config.max_inflight})",
+                        retry_after=0.05,
+                        request=message,
+                    ))
+                    continue
+                conn.inflight += 1
+                task = asyncio.ensure_future(self._serve_request(conn, message))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        except asyncio.CancelledError:
+            outcome = "drained"
+        finally:
+            self._close_connection(conn, outcome)
+
+    def _close_connection(self, conn: _Connection, outcome: str) -> None:
+        if conn not in self._connections:
+            return
+        self._connections.discard(conn)
+        tm.CONNECTIONS_ACTIVE.dec()
+        tm.CONNECTIONS_TOTAL.labels(outcome).inc()
+        try:
+            conn.writer.close()
+        except Exception:  # closing is best-effort
+            pass
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _serve_request(self, conn: _Connection, message: dict) -> None:
+        op = str(message.get("op", ""))
+        t0 = time.perf_counter()
+        tm.SERVING_INFLIGHT.inc()
+        try:
+            response = await self._response_for(op, message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # a bug, not a request problem
+            response = self._error_frame("internal", f"{type(exc).__name__}: {exc}")
+        finally:
+            tm.SERVING_INFLIGHT.dec()
+            conn.inflight -= 1
+        outcome = "ok" if response.get("ok") else "error"
+        tm.SERVING_FRAMES.labels(op or "?", outcome).inc()
+        tm.SERVING_REQUEST_SECONDS.labels(op or "?").observe(
+            time.perf_counter() - t0
+        )
+        if "id" in message:
+            response["id"] = message["id"]
+        await self._send(conn, response)
+
+    async def _response_for(self, op: str, message: dict) -> dict:
+        if op == "health":
+            return self._health_payload()  # liveness never queues
+        if op == "drain":
+            asyncio.ensure_future(self.drain())
+            return {"ok": True, "draining": True,
+                    "drain_deadline": self.config.drain_deadline,
+                    "epoch": self._epoch()}
+        if self.draining:
+            return self._error_frame(
+                "draining", "server is draining; use another endpoint",
+                retry_after=self.config.drain_retry_after,
+            )
+        loop = asyncio.get_event_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._executor, self._backend_call, op, message
+            )
+        except ProtocolError as exc:
+            return self._error_frame(exc.code, str(exc))
+        except AdmissionRejectedError as exc:
+            return self._error_frame("shed", str(exc), retry_after=exc.retry_after)
+        except NotPrimaryError as exc:
+            redirect = self.config.primary_address
+            return self._error_frame("not_primary", str(exc), redirect=redirect)
+        except StalenessExceededError as exc:
+            return self._error_frame("staleness", str(exc), retry_after=0.05)
+        except DeadlineExceededError as exc:
+            return self._error_frame("deadline", str(exc))
+        except InvalidParameterError as exc:
+            return self._error_frame("bad_request", str(exc))
+        except QueryError as exc:
+            return self._error_frame("query_failed", str(exc))
+        except ReproError as exc:
+            return self._error_frame("internal", f"{type(exc).__name__}: {exc}")
+        except RuntimeError as exc:
+            # the executor rejects work while shutting down
+            return self._error_frame(
+                "draining", f"backend unavailable: {exc}",
+                retry_after=self.config.drain_retry_after,
+            )
+        payload["ok"] = True
+        payload.setdefault("epoch", self._epoch())
+        return payload
+
+    def _error_frame(self, code: str, message: str, retry_after=None,
+                     redirect=None, request=None) -> dict:
+        frame = {"ok": False, "error": code, "message": message,
+                 "epoch": self._epoch()}
+        if code in ("shed", "draining", "too_many_inflight", "staleness"):
+            # the retry invariant: these codes ALWAYS carry retry_after
+            frame["retry_after"] = float(retry_after or 0.0)
+        elif retry_after is not None:
+            frame["retry_after"] = float(retry_after)
+        if redirect is not None:
+            frame["redirect"] = list(redirect)
+        if request is not None and "id" in request:
+            frame["id"] = request["id"]
+        return frame
+
+    async def _send(self, conn: _Connection, message: dict) -> None:
+        try:
+            data = encode_frame(message, max_frame=self.config.max_frame)
+        except ProtocolError:
+            data = encode_frame(self._error_frame(
+                "internal", "response exceeded the frame limit"))
+        async with conn.write_lock:
+            try:
+                conn.writer.write(data)
+                await asyncio.wait_for(
+                    conn.writer.drain(), timeout=self.config.write_timeout
+                )
+            except (asyncio.TimeoutError, ConnectionResetError,
+                    BrokenPipeError, OSError):
+                self._close_connection(conn, "reset")
+
+    # ------------------------------------------------------------------
+    # backend operations (executor thread only)
+    # ------------------------------------------------------------------
+    def _backend_call(self, op: str, message: dict) -> dict:
+        try:
+            return self._dispatch_backend(op, message)
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ReproError):
+                raise
+            raise ProtocolError(
+                f"malformed {op!r} request: {type(exc).__name__}: {exc}",
+                code="bad_request",
+            ) from exc
+
+    def _dispatch_backend(self, op: str, message: dict) -> dict:
+        backend = self.backend
+        if op == "report":
+            motion = backend.report(
+                int(message["oid"]), float(message["x"]), float(message["y"]),
+                float(message["vx"]), float(message["vy"]),
+            )
+            return {"accepted": motion is not None, "lsn": self._lsn(),
+                    "tnow": int(backend.tnow)}
+        if op == "report_batch":
+            reports = [
+                (int(r[0]), float(r[1]), float(r[2]), float(r[3]), float(r[4]))
+                for r in message["reports"]
+            ]
+            results = backend.report_batch(reports)
+            accepted = sum(1 for r in results if r is not None)
+            return {"accepted": accepted, "rejected": len(results) - accepted,
+                    "lsn": self._lsn(), "tnow": int(backend.tnow)}
+        if op == "retire":
+            return {"retired": bool(backend.retire(int(message["oid"]))),
+                    "lsn": self._lsn()}
+        if op == "advance":
+            to = int(message.get("to", backend.tnow + 1))
+            backend.advance_to(to)
+            return {"tnow": int(backend.tnow), "lsn": self._lsn()}
+        if op in ("fr_query", "pa_query", "query"):
+            method = str(message.get("method") or op.split("_", 1)[0])
+            qt = (int(message["qt"]) if "qt" in message
+                  else int(backend.tnow) + int(message.get("qt_offset", 0)))
+            result = backend.query(
+                method, qt=qt,
+                l=(None if message.get("l") is None else float(message["l"])),
+                rho=(None if message.get("rho") is None
+                     else float(message["rho"])),
+                varrho=(None if message.get("varrho") is None
+                        else float(message["varrho"])),
+                deadline=(None if message.get("deadline") is None
+                          else float(message["deadline"])),
+            )
+            regions = [[r.x1, r.y1, r.x2, r.y2] for r in result.regions]
+            max_regions = message.get("max_regions")
+            if max_regions is not None:  # keep answer frames bounded
+                regions = regions[: int(max_regions)]
+            return {
+                "method": result.stats.method,
+                "requested_method": getattr(result, "requested_method", method),
+                "degraded": bool(result.degraded),
+                "served_by": getattr(result, "served_by", None),
+                "qt": qt,
+                "n_regions": len(result.regions),
+                "regions": regions,
+                "area": result.area(),
+                "cpu_seconds": result.stats.cpu_seconds,
+            }
+        if op == "status":
+            if self._is_group:
+                return {"status": self.backend.status()}
+            return {"status": {"role": backend.role, "epoch": self._epoch(),
+                               "lsn": self._lsn(), "tnow": int(backend.tnow)}}
+        raise ProtocolError(f"unknown op {op!r}", code="bad_request")
+
+
+class ServerThread:
+    """Hosts a :class:`PDRTCPServer` on its own event loop in a thread.
+
+    The CLI, the load harness and the chaos scheduler all need a live
+    server *next to* blocking code; this wrapper owns the loop and
+    exposes three thread-safe entry points: :attr:`address` (after
+    :meth:`start`), :meth:`call` (run a function on the backend executor
+    — the single thread every backend touch is serialized on), and
+    :meth:`drain`/:meth:`stop`.
+    """
+
+    def __init__(self, backend, config: Optional[ServingConfig] = None) -> None:
+        self.server = PDRTCPServer(backend, config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="pdr-serving", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise ServingError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._started.is_set():
+            raise ServingError("server did not start within 10s")
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.server.address is not None
+        return self.server.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self.server.wait_drained()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                loop.close()
+
+    def call(self, fn, *args, **kwargs):
+        """Run ``fn`` on the backend thread; blocks for the result."""
+        return self.server._executor.submit(fn, *args, **kwargs).result()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        if self._loop is None or not self._loop.is_running():
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.drain(), self._loop)
+        future.result(timeout=timeout or self.server.config.drain_deadline + 10.0)
+
+    def stop(self) -> None:
+        """Drain, stop the loop thread and release the backend executor."""
+        try:
+            self.drain()
+        finally:
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+            self.server.shutdown_executor()

@@ -43,6 +43,7 @@ REQUIRED_FAMILIES = (
     "repro_histogram_cache_hits_total",
     "repro_histogram_cache_hit_ratio",
     "repro_admission_sheds_total",
+    "repro_build_info",
 )
 
 

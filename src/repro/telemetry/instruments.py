@@ -161,3 +161,86 @@ CHAOS_ORACLES = _reg.counter(
     "Chaos invariant-oracle sweep outcomes",
     labelnames=("outcome",),  # pass | fail
 )
+
+# ----------------------------------------------------------------------
+# network serving (TCP front door)
+# ----------------------------------------------------------------------
+CONNECTIONS_ACTIVE = _reg.gauge(
+    "repro_connections_active", "TCP connections currently open on the front door"
+)
+CONNECTIONS_TOTAL = _reg.counter(
+    "repro_connections_total",
+    "TCP connections closed, by how they ended",
+    labelnames=("outcome",),  # closed | reset | timeout | drained
+)
+SERVING_FRAMES = _reg.counter(
+    "repro_serving_frames_total",
+    "Protocol frames answered, by operation and outcome",
+    labelnames=("op", "outcome"),  # outcome: ok | error
+)
+SERVING_REQUEST_SECONDS = _reg.histogram(
+    "repro_serving_request_seconds",
+    "Server-side request latency (frame decoded -> response written)",
+    labelnames=("op",),
+)
+SERVING_INFLIGHT = _reg.gauge(
+    "repro_requests_inflight", "Requests currently executing behind the front door"
+)
+DRAIN_SECONDS = _reg.histogram(
+    "repro_drain_duration_seconds",
+    "Graceful-drain duration (stop accepting -> all connections closed)",
+)
+
+# ----------------------------------------------------------------------
+# build identity
+# ----------------------------------------------------------------------
+
+
+def _git_sha() -> str:
+    """Best-effort git revision: env override, then .git/HEAD, else unknown."""
+    import os
+
+    sha = os.environ.get("REPRO_GIT_SHA")
+    if sha:
+        return sha[:12]
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))))
+    try:
+        with open(os.path.join(root, ".git", "HEAD"), encoding="utf-8") as fh:
+            head = fh.read().strip()
+        if head.startswith("ref:"):
+            ref = head.split(None, 1)[1]
+            with open(os.path.join(root, ".git", ref), encoding="utf-8") as fh:
+                return fh.read().strip()[:12]
+        return head[:12]
+    except OSError:
+        return "unknown"
+
+
+def _build_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed; the pyproject version is canonical
+        return "1.0.0"
+
+
+BUILD_INFO = _reg.gauge(
+    "repro_build_info",
+    "Build identity (constant 1); version/python/git_sha ride as labels",
+    labelnames=("version", "python", "git_sha"),
+)
+
+
+def _set_build_info() -> None:
+    import platform
+
+    BUILD_INFO.labels(_build_version(), platform.python_version(), _git_sha()).set(1)
+
+
+_set_build_info()
+# registry.reset() zeroes gauges in place; build identity is constant 1
+# by contract, so re-assert it at every snapshot like other scrape-time
+# values
+_reg.on_collect(_set_build_info)
