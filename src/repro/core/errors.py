@@ -85,6 +85,36 @@ class RecoveryError(StorageError):
     """Checkpoint/replay recovery could not reconstruct a server."""
 
 
+class WALWriteError(StorageError):
+    """A write/flush/fsync on the update log failed; the descriptor is poisoned.
+
+    After a failed fsync the kernel may have dropped the dirty pages
+    whose writeback failed, so a *retried* fsync on the same descriptor
+    can report success without the data being durable (the PostgreSQL
+    "fsyncgate" bug class).  The update log therefore never touches the
+    failed descriptor again: the segment is poisoned, the record was
+    never acknowledged, and recovery means opening a *fresh* segment
+    (:meth:`~repro.reliability.recovery.ReliabilityManager.reopen_wal`).
+    """
+
+
+class ReadOnlyError(StorageError):
+    """The server is in read-only degraded mode; writes are refused.
+
+    Entered when the disk budget crosses its hard watermark or the WAL
+    descriptor was poisoned by a write/fsync failure.  Queries keep
+    being served; reports/retires/advances raise this until a resource
+    probe finds the disk recovered.  ``retry_after`` (seconds) hints
+    when the client should try again — carried verbatim on the
+    ``read_only`` wire error frame.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0, reason: str = ""):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.reason = reason
+
+
 class IntegrityError(StorageError):
     """Checksummed state failed verification.
 

@@ -61,7 +61,12 @@ from ..telemetry import TELEMETRY
 from ..telemetry import instruments as tm
 from ..telemetry.tracing import NOOP_SPAN
 from .config import SystemConfig
-from .errors import InvalidParameterError, StorageError
+from .errors import (
+    InvalidParameterError,
+    ReadOnlyError,
+    StorageError,
+    WALWriteError,
+)
 from .query import (
     IntervalPDRQuery,
     QueryResult,
@@ -108,6 +113,12 @@ class PDRServer:
             )
         self.role = role
         self.epoch = 0
+        # Read-only degraded mode: queries keep serving, writes raise
+        # ReadOnlyError.  Entered on a hard disk-budget watermark or a
+        # poisoned WAL descriptor; left through probe_resources().
+        self.read_only = False
+        self.read_only_reason = ""
+        self.read_only_retry_after = 0.5
         # Bumped (and persisted in server-config.json) each time this
         # state directory goes through checkpoint+replay recovery.
         self.recovery_generation = 0
@@ -201,10 +212,14 @@ class PDRServer:
             return None
         tm.INGEST_REPORTS.labels("accepted").inc()
         if self._manager is not None:
-            self._manager.log_report(oid, x, y, vx, vy, self.table.tnow)
+            self._log_guarded(
+                self._manager.log_report, oid, x, y, vx, vy, self.table.tnow
+            )
         if self.faults is not None:
             self.faults.hit("report.apply")
-        return self._apply_report(oid, x, y, vx, vy)
+        motion = self._apply_report(oid, x, y, vx, vy)
+        self._resource_check()
+        return motion
 
     def _check_writable(self) -> None:
         if self.role != "primary":
@@ -214,6 +229,69 @@ class PDRServer:
                 f"server is {self.role!r} (epoch {self.epoch}); writes must "
                 "go to the acting primary"
             )
+        if self.read_only:
+            raise ReadOnlyError(
+                f"server is in read-only degraded mode "
+                f"({self.read_only_reason}); writes are refused",
+                retry_after=self.read_only_retry_after,
+                reason=self.read_only_reason,
+            )
+
+    def _log_guarded(self, log_fn, *args) -> None:
+        """Run one WAL-logging call; a poisoned descriptor degrades the
+        server to read-only before the error surfaces to the caller (the
+        record was never acked, so refusing further writes loses nothing)."""
+        try:
+            log_fn(*args)
+        except WALWriteError as exc:
+            resources = getattr(self._manager, "resources", None)
+            if resources is not None:
+                resources.note_wal_failure(self, exc)
+            else:
+                self.enter_read_only(f"WAL poisoned: {exc}")
+            raise
+
+    def _resource_check(self) -> None:
+        """Evaluate the disk/memory budget after a successful write."""
+        resources = getattr(self._manager, "resources", None)
+        if resources is not None:
+            resources.check(self)
+
+    # ------------------------------------------------------------------
+    # read-only degraded mode
+    # ------------------------------------------------------------------
+    def enter_read_only(self, reason: str, retry_after: float = 0.5) -> None:
+        """Refuse writes (queries keep serving) until a probe clears it."""
+        self.read_only = True
+        self.read_only_reason = reason
+        self.read_only_retry_after = float(retry_after)
+        tm.READONLY.set(1)
+
+    def exit_read_only(self) -> None:
+        self.read_only = False
+        self.read_only_reason = ""
+        tm.READONLY.set(0)
+
+    def probe_resources(self) -> bool:
+        """Try to leave read-only mode; returns True when writable.
+
+        With a resource manager configured this is its full probe (fresh
+        WAL segment past a poisoned one, prune, re-check the budget);
+        without one it still heals a poisoned WAL, which is the only
+        other way into read-only mode.
+        """
+        resources = getattr(self._manager, "resources", None)
+        if resources is not None:
+            return resources.probe(self)
+        if not self.read_only:
+            return True
+        if self._manager is not None and self._manager.wal_poisoned:
+            try:
+                self._manager.reopen_wal()
+            except OSError:
+                return False
+        self.exit_read_only()
+        return True
 
     def _apply_report(
         self, oid: int, x: float, y: float, vx: float, vy: float
@@ -268,13 +346,14 @@ class PDRServer:
         if not accepted:
             return results
         if self._manager is not None:
-            self._manager.log_report_batch(accepted, tnow)
+            self._log_guarded(self._manager.log_report_batch, accepted, tnow)
         if self.faults is not None:
             self.faults.hit("report.apply")
         motions = self.table.report_batch(accepted)
         for slot, motion in zip(slots, motions):
             results[slot] = motion
         self._tick_oids.update(report[0] for report in accepted)
+        self._resource_check()
         return results
 
     def retire(self, oid: int) -> bool:
@@ -294,10 +373,11 @@ class PDRServer:
             tm.DEAD_LETTERS.inc()
             return False
         if self._manager is not None:
-            self._manager.log_retire(oid, self.table.tnow)
+            self._log_guarded(self._manager.log_retire, oid, self.table.tnow)
         if self.faults is not None:
             self.faults.hit("report.apply")
         self._apply_retire(oid)
+        self._resource_check()
         return True
 
     def _apply_retire(self, oid: int) -> None:
@@ -314,12 +394,13 @@ class PDRServer:
                 f"clock cannot move backwards ({self.table.tnow} -> {tnow})"
             )
         if self._manager is not None:
-            self._manager.log_advance(tnow)
+            self._log_guarded(self._manager.log_advance, tnow)
         if self.faults is not None:
             self.faults.hit("advance.apply")
         self._apply_advance(tnow)
         if self._manager is not None:
             self._manager.maybe_checkpoint(self, tnow)
+        self._resource_check()
 
     def _apply_advance(self, tnow: int) -> None:
         self.table.advance_to(tnow)
@@ -354,7 +435,12 @@ class PDRServer:
             raise StorageError(f"unknown update-log op {op!r}")
 
     def attach_manager(self, manager) -> None:
-        """Re-attach durability after recovery (recovery only)."""
+        """Re-attach durability after recovery / failover.
+
+        A superseded manager's WAL descriptor is closed here — repeated
+        recover/attach cycles must not accumulate open fds."""
+        if self._manager is not None and self._manager is not manager:
+            self._manager.close()
         self._manager = manager
 
     # ------------------------------------------------------------------
@@ -377,7 +463,7 @@ class PDRServer:
         self.role = "primary"
         self.epoch = epoch
         if self._manager is not None:
-            self._manager.log_epoch(epoch, self.tnow)
+            self._log_guarded(self._manager.log_epoch, epoch, self.tnow)
 
     def demote(self) -> None:
         """Fence this server out of the primary role; its writes now raise."""
@@ -616,10 +702,14 @@ class PDRServer:
 
     def reliability_report(self) -> dict:
         """Operator-facing counters for the reliability layer."""
+        resources = getattr(self._manager, "resources", None)
         return {
             "role": self.role,
             "epoch": self.epoch,
             "recovery_generation": self.recovery_generation,
+            "read_only": self.read_only,
+            "read_only_reason": self.read_only_reason,
+            "resources": resources.report() if resources is not None else None,
             "dead_letter_total": self.dead_letters.total,
             "dead_letter_counts": dict(self.dead_letters.counts),
             "queries_served": self.query_counters["served"],

@@ -309,6 +309,27 @@ class DensityHistogram(UpdateListener):
         self._block_cache[key] = block
         return block
 
+    def cache_memory_bytes(self) -> int:
+        """Bytes held by the prefix/block-sum caches (reclaimable)."""
+        total = 0
+        for arr in self._prefix_cache.values():
+            total += arr.nbytes
+        for arr in self._block_cache.values():
+            total += arr.nbytes
+        return total
+
+    def shed_caches(self) -> int:
+        """Drop the prefix/block-sum caches now (memory watermark).
+
+        Purely a capacity action: the caches rebuild on demand and every
+        answer is recomputed from the counters, so correctness is
+        untouched.  Returns the bytes freed.
+        """
+        freed = self.cache_memory_bytes()
+        self._prefix_cache.clear()
+        self._block_cache.clear()
+        return freed
+
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------

@@ -74,6 +74,7 @@ from .validation import (
     ReliabilityConfig,
     ReportPolicy,
     ReportValidator,
+    ResourceConfig,
 )
 
 __all__ = [
@@ -105,6 +106,7 @@ __all__ = [
     "ReplicationLink",
     "ReportPolicy",
     "ReportValidator",
+    "ResourceConfig",
     "ShippedRecord",
     "TokenBucket",
     "run_with_retries",

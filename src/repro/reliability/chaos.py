@@ -56,6 +56,36 @@ network campaigns give the group an admission controller on its virtual
 clock and tick that clock a fixed amount per event — token refill is a
 pure function of the event index, not of wall time.
 
+With ``ChaosConfig.resources`` the group runs under a live
+:class:`~repro.reliability.resources.ResourceManager` (``fsync`` on, so
+the ``wal_fsync`` site is reachable; ``checkpoint_interval=0``, so every
+checkpoint flows through the soft-watermark path) and four more event
+kinds attack the resource envelope:
+
+======================  ================================================
+``disk_shrink``         clamp the disk budget around current usage —
+                        severe fractions drop the *hard* watermark below
+                        usage (forcing read-only), mild ones squeeze the
+                        *soft* watermark (forcing checkpoint-then-prune)
+``disk_restore``        lift the budget limits (disk "freed")
+``wal_fault``           arm one ENOSPC / EIO / short-write at the
+                        ``wal_write`` or ``wal_fsync`` site — the next
+                        append poisons that WAL descriptor
+``ckpt_fault``          arm one ENOSPC / EIO at ``checkpoint_write``
+======================  ================================================
+
+Writes refused while degraded (``ReadOnlyError`` / ``WALWriteError``)
+are counted, never treated as campaign failures — nothing refused was
+ever acknowledged.  After *every* event the scheduler reconciles the
+resource manager with the budget, and two more oracles run:
+
+9.  *no acked-write loss under resource faults* — oracle 1, now spanning
+    ENOSPC/EIO poisoning, fresh-segment reopens and retention pruning;
+10. *read-only monotonicity*: after reconcile the primary is read-only
+    **iff** the budget sits at its hard watermark (or the WAL reopen
+    itself is still failing) — degraded mode neither lags the budget nor
+    lingers after it recovers, and the server never crashes.
+
 Bit-flips go through :func:`~repro.reliability.integrity.flip_byte`,
 which hits the ``integrity.flip`` fault site of the shared
 :class:`~repro.reliability.faults.FaultInjector` (whose counters are
@@ -99,15 +129,17 @@ from ..core.config import SystemConfig
 from ..core.errors import (
     FailoverError,
     QueryError,
+    ReadOnlyError,
     ReproError,
     StalenessExceededError,
+    WALWriteError,
 )
 from ..core.geometry import Rect
 from ..telemetry import instruments as tm
 from .faults import FaultInjector
 from .integrity import flip_byte, verify_state_dir
 from .replication import ReplicationConfig, ReplicationGroup
-from .validation import ReliabilityConfig
+from .validation import ReliabilityConfig, ResourceConfig
 
 __all__ = [
     "ChaosConfig",
@@ -142,6 +174,9 @@ class ChaosConfig:
     net_admission_rate: float = 25.0  # tokens/s on the group's virtual clock
     net_admission_burst: float = 4.0  # tight: query bursts must shed
     net_clock_tick: float = 0.02  # virtual seconds ticked per event
+    # --- resource mode: disk budgets, WAL write faults, read-only mode ---
+    resources: bool = False
+    min_resource_disruptions: int = 4  # budget/write faults forced in
 
     def weights(self) -> List[Tuple[str, float]]:
         base = [
@@ -165,11 +200,19 @@ class ChaosConfig:
                 ("net_slowloris", 1.0),
                 ("net_stall", 1.0),
             ]
+        if self.resources:
+            base += [
+                ("disk_shrink", 3.0),
+                ("disk_restore", 3.0),
+                ("wal_fault", 2.0),
+                ("ckpt_fault", 2.0),
+            ]
         return base
 
 
 DISRUPTIONS = ("crash_primary", "crash_replica", "flip_wal", "flip_ckpt")
 NET_DISRUPTIONS = ("net_reset", "net_truncate", "net_slowloris", "net_stall")
+RESOURCE_DISRUPTIONS = ("disk_shrink", "disk_restore", "wal_fault", "ckpt_fault")
 
 
 @dataclass
@@ -336,6 +379,16 @@ class ChaosScheduler:
                 kind = rng.choice(NET_DISRUPTIONS)
                 events[idx] = self._make_event(kind, rng)
                 have_net += 1
+        if cfg.resources:  # and actually exhausts some resources
+            protected = DISRUPTIONS + NET_DISRUPTIONS + RESOURCE_DISRUPTIONS
+            have_res = sum(1 for e in events if e[0] in RESOURCE_DISRUPTIONS)
+            while have_res < cfg.min_resource_disruptions and events:
+                idx = rng.randrange(len(events))
+                if events[idx][0] in protected:
+                    continue
+                kind = rng.choice(RESOURCE_DISRUPTIONS)
+                events[idx] = self._make_event(kind, rng)
+                have_res += 1
         return events
 
     def _make_event(self, kind: str, rng: random.Random) -> Event:
@@ -372,6 +425,21 @@ class ChaosScheduler:
             return (kind,)
         if kind == "net_stall":
             return ("net_stall", rng.randrange(1, 4))  # tenths of a second
+        if kind == "disk_shrink":
+            # the fraction resolves against the *current* usage at
+            # execution time (severe < 0.5: hard watermark drops below
+            # usage; mild >= 0.5: only the soft watermark is crossed)
+            return ("disk_shrink", round(rng.random(), 3))
+        if kind == "disk_restore":
+            return ("disk_restore",)
+        if kind == "wal_fault":
+            mode = rng.choice(["enospc", "eio", "short"])
+            site = "wal_write" if mode == "short" else rng.choice(
+                ["wal_write", "wal_fsync"]
+            )
+            return ("wal_fault", site, mode)
+        if kind == "ckpt_fault":
+            return ("ckpt_fault", rng.choice(["enospc", "eio"]))
         raise ValueError(f"unknown chaos event kind {kind!r}")
 
     # ------------------------------------------------------------------
@@ -393,9 +461,14 @@ class ChaosScheduler:
         )
         rc = ReliabilityConfig(
             state_dir=state_dir,
-            checkpoint_interval=cfg.checkpoint_interval,
-            fsync=False,
+            # resource campaigns route EVERY checkpoint through the
+            # soft-watermark path (which absorbs injected checkpoint
+            # faults into read-only mode) instead of the interval timer,
+            # and need real fsyncs for the fsyncgate poisoning rule
+            checkpoint_interval=0 if cfg.resources else cfg.checkpoint_interval,
+            fsync=bool(cfg.resources),
             faults=self.faults,
+            resources=ResourceConfig() if cfg.resources else None,
         )
         primary = PDRServer(system, expected_objects=cfg.objects, reliability=rc)
         admission = None
@@ -440,6 +513,8 @@ class ChaosScheduler:
                  "repairs": 0, "flips": 0, "replica_crashes": 0}
         if net is not None:
             stats["wire_failures"] = 0
+        if self.config.resources:
+            stats["refused_writes"] = 0
         max_acked = 0
         joined = 0
         failure: Optional[ChaosFailure] = None
@@ -454,6 +529,10 @@ class ChaosScheduler:
                     )
                     if net is not None and self.config.net_clock_tick > 0:
                         gcall(group.clock.sleep, self.config.net_clock_tick)
+                    if self.config.resources:
+                        # converge read-only with the budget after every
+                        # event — the monotonicity the oracle then checks
+                        gcall(self._reconcile_resources, group)
                 except (ReproError, AssertionError) as exc:
                     failure = ChaosFailure(
                         index, event, "no-unexpected-error",
@@ -568,6 +647,20 @@ class ChaosScheduler:
         return False, joined
 
     def _apply_event_direct(self, group, event: Event, stats: dict, joined: int):
+        if self.config.resources:
+            # a resource campaign legitimately refuses writes: read-only
+            # mode and poisoned-WAL errors are the behavior under test,
+            # not unexpected failures (nothing refused was ever acked) —
+            # the per-event reconcile converges state and the monotone
+            # oracle checks it
+            try:
+                return self._apply_event_body(group, event, stats, joined)
+            except (ReadOnlyError, WALWriteError):
+                stats["refused_writes"] += 1
+                return False, joined
+        return self._apply_event_body(group, event, stats, joined)
+
+    def _apply_event_body(self, group, event: Event, stats: dict, joined: int):
         kind = event[0]
         oracle_due = False
         if kind == "report":
@@ -637,9 +730,54 @@ class ChaosScheduler:
                 assert report.clean
                 stats["repairs"] += 1
                 oracle_due = True
+        elif kind == "disk_shrink":
+            self._apply_disk_shrink(group, event[1])
+            oracle_due = True
+        elif kind == "disk_restore":
+            budget = group.primary.reliability.resources
+            budget.soft_limit_bytes = None
+            budget.hard_limit_bytes = None
+            oracle_due = True
+        elif kind == "wal_fault":
+            _kind, site, mode = event
+            if mode == "short":
+                self.faults.inject_short_write(site, fraction=0.5)
+            elif mode == "eio":
+                self.faults.inject_eio(site)
+            else:
+                self.faults.inject_enospc(site)
+        elif kind == "ckpt_fault":
+            if event[1] == "eio":
+                self.faults.inject_eio("checkpoint_write")
+            else:
+                self.faults.inject_enospc("checkpoint_write")
         else:
             raise ValueError(f"unknown chaos event kind {kind!r}")
         return oracle_due, joined
+
+    def _apply_disk_shrink(self, group, fraction: float) -> None:
+        """Resize the shared budget against the *current* usage.
+
+        ``fraction < 0.5``: severe — the hard watermark lands below what
+        is already on disk, so the server must enter read-only mode.
+        ``fraction >= 0.5``: mild — only the soft watermark is crossed,
+        driving the checkpoint-then-prune path on the next write.
+        """
+        from .resources import state_dir_usage
+
+        budget = group.primary.reliability.resources
+        usage = max(state_dir_usage(group.state_dir)[0], 4096)
+        if fraction < 0.5:
+            budget.hard_limit_bytes = max(1, int(usage * (0.4 + fraction)))
+            budget.soft_limit_bytes = max(1, budget.hard_limit_bytes // 2)
+        else:
+            budget.soft_limit_bytes = max(1, int(usage * (fraction - 0.25)))
+            budget.hard_limit_bytes = usage * 8
+
+    def _reconcile_resources(self, group) -> None:
+        manager = group.primary._manager
+        if manager is not None and manager.resources is not None:
+            manager.resources.reconcile(group.primary)
 
     def _honor_update_contract(self, group, t: int) -> None:
         """Re-report motions about to age out of the update window.
@@ -738,6 +876,9 @@ class ChaosScheduler:
         return None
 
     def _run_oracles(self, group, max_acked: int) -> Optional[Tuple[str, str]]:
+        verdict = self._readonly_monotone(group)
+        if verdict is not None:
+            return verdict
         try:
             group.catch_up_replicas()
         except ReproError as exc:
@@ -787,6 +928,36 @@ class ChaosScheduler:
         report = verify_state_dir(group.state_dir)
         if not report.clean:
             return ("durable-integrity", report.summary())
+        return None
+
+    def _readonly_monotone(self, group) -> Optional[Tuple[str, str]]:
+        """Read-only mode must track the budget state after reconcile.
+
+        Every event is followed by :meth:`_reconcile_resources`, so by
+        oracle time the server must be read-only iff the disk budget is
+        at its hard watermark (or the WAL is still poisoned because the
+        reopen itself failed) — degraded mode may neither lag the budget
+        nor linger after it recovers.
+        """
+        manager = getattr(group.primary, "_manager", None)
+        if manager is None or manager.resources is None:
+            return None
+        res = manager.resources
+        usage = res.usage()
+        state = res.budget.state(usage)
+        if state == "hard" and not group.primary.read_only:
+            return (
+                "readonly-monotone",
+                f"disk budget hard at {usage} bytes but the primary "
+                "still accepts writes",
+            )
+        if state != "hard" and not manager.wal_poisoned and group.primary.read_only:
+            return (
+                "readonly-monotone",
+                f"disk budget {state} at {usage} bytes and the WAL is "
+                "healthy, yet the primary is still read-only "
+                f"({group.primary.read_only_reason})",
+            )
         return None
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ exact instead of racy.
 
 from __future__ import annotations
 
+import errno
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -27,6 +28,7 @@ __all__ = [
     "MonotonicClock",
     "VirtualClock",
     "InjectedCrashError",
+    "InjectedShortWrite",
     "FaultInjector",
 ]
 
@@ -39,6 +41,20 @@ class InjectedCrashError(BaseException):
     ``except ReproError`` in the serving path may "survive" a crash —
     the only legitimate response is to restart and recover.
     """
+
+
+class InjectedShortWrite(OSError):
+    """A write that lands only a prefix of its payload before failing.
+
+    Raised at a write fault site *before* the real write; the
+    instrumented caller (``UpdateLog``) writes ``fraction`` of the
+    payload itself and then treats the site as failed — leaving a torn
+    line on disk exactly like a partial write on a filling disk would.
+    """
+
+    def __init__(self, site: str, fraction: float = 0.5):
+        super().__init__(errno.ENOSPC, f"injected short write at {site!r}")
+        self.fraction = float(fraction)
 
 
 class Clock:
@@ -122,6 +138,49 @@ class FaultInjector:
         factory = exc_factory or (lambda: TransientIOError(f"injected I/O fault at {site!r}"))
         self._rules.setdefault(site, []).append(
             _FaultRule(kind="error", after=after, times=times, exc_factory=factory)
+        )
+
+    def inject_enospc(
+        self, site: str, times: Optional[int] = 1, after: int = 0
+    ) -> None:
+        """Raise ``OSError(ENOSPC)`` at ``site`` — the disk is full."""
+        self.inject_error(
+            site,
+            exc_factory=lambda: OSError(
+                errno.ENOSPC, f"injected ENOSPC at {site!r}: no space left on device"
+            ),
+            times=times,
+            after=after,
+        )
+
+    def inject_eio(self, site: str, times: Optional[int] = 1, after: int = 0) -> None:
+        """Raise ``OSError(EIO)`` at ``site`` — the device failed the I/O."""
+        self.inject_error(
+            site,
+            exc_factory=lambda: OSError(
+                errno.EIO, f"injected EIO at {site!r}: input/output error"
+            ),
+            times=times,
+            after=after,
+        )
+
+    def inject_short_write(
+        self,
+        site: str,
+        fraction: float = 0.5,
+        times: Optional[int] = 1,
+        after: int = 0,
+    ) -> None:
+        """Let only ``fraction`` of the payload land at ``site``, then fail."""
+        if not 0.0 <= fraction < 1.0:
+            raise InvalidParameterError(
+                f"short-write fraction must be in [0, 1), got {fraction}"
+            )
+        self.inject_error(
+            site,
+            exc_factory=lambda: InjectedShortWrite(site, fraction),
+            times=times,
+            after=after,
         )
 
     def inject_delay(

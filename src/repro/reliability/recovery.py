@@ -53,11 +53,12 @@ from ..core.errors import (
     IndexError_,
     RecoveryError,
     StorageError,
+    WALWriteError,
 )
 from ..telemetry import instruments as tm
-from .faults import FaultInjector
+from .faults import FaultInjector, InjectedShortWrite
 from .integrity import file_crc, frame_record, parse_wal_line
-from .validation import ReliabilityConfig, ReportPolicy
+from .validation import ReliabilityConfig, ReportPolicy, ResourceConfig
 
 __all__ = [
     "UpdateLog",
@@ -131,20 +132,79 @@ class UpdateLog:
     :func:`~repro.reliability.integrity.frame_record`); legacy unframed
     lines written before framing existed are still read back, so an old
     state directory upgrades in place as new appends land.
+
+    **The fsyncgate rule.**  Any write/flush/fsync failure permanently
+    *poisons* this segment's descriptor: after a failed fsync the kernel
+    may have dropped exactly the dirty pages whose writeback failed, so
+    retrying fsync on the same descriptor can falsely report success.
+    A poisoned log closes its descriptor (without another fsync), raises
+    :class:`~repro.core.errors.WALWriteError` for the failed append and
+    every later one, and never touches the file again — recovery means
+    a *fresh* segment via
+    :meth:`ReliabilityManager.reopen_wal`.  Fault sites: ``wal_write``
+    fires before the write+flush, ``wal_fsync`` before the fsync; both
+    accept injected ``OSError`` (ENOSPC / EIO / short writes).
     """
 
-    def __init__(self, path: str, fsync: bool = True) -> None:
+    def __init__(
+        self, path: str, fsync: bool = True, faults: Optional[FaultInjector] = None
+    ) -> None:
         self.path = path
         self.fsync = fsync
+        self.faults = faults
+        self.poisoned = False
+        self.fsync_calls = 0  # issued on THIS descriptor; frozen once poisoned
         self._fh = open(path, "a", encoding="utf-8")
+
+    def _poison(self, exc: BaseException) -> None:
+        """Mark the descriptor dead and close it — without fsync (the
+        dirty-page state it would have covered is already lost)."""
+        self.poisoned = True
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - close on a failed fd
+            pass
+        raise WALWriteError(
+            f"update log {self.path!r} poisoned by failed write/fsync: {exc}"
+        ) from exc
+
+    def _write_flush(self, data: str) -> None:
+        if self.poisoned:
+            raise WALWriteError(
+                f"update log {self.path!r} is poisoned; open a fresh segment"
+            )
+        try:
+            if self.faults is not None:
+                self.faults.hit("wal_write")
+            self._fh.write(data)
+            self._fh.flush()
+        except InjectedShortWrite as exc:
+            # land a prefix of the payload first: the torn line a real
+            # partial write would leave for recovery to repair
+            try:
+                self._fh.write(data[: max(1, int(len(data) * exc.fraction))])
+                self._fh.flush()
+            except OSError:
+                pass
+            self._poison(exc)
+        except OSError as exc:
+            self._poison(exc)
+
+    def _fsync_once(self) -> None:
+        try:
+            if self.faults is not None:
+                self.faults.hit("wal_fsync")
+            self.fsync_calls += 1
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            self._poison(exc)
 
     def append(self, record: dict) -> None:
         t0 = time.perf_counter()
-        self._fh.write(frame_record(record))
-        self._fh.flush()
+        self._write_flush(frame_record(record))
         t1 = time.perf_counter()
         if self.fsync:
-            os.fsync(self._fh.fileno())
+            self._fsync_once()
             tm.WAL_FSYNC_SECONDS.observe(time.perf_counter() - t1)
         tm.WAL_APPEND_SECONDS.observe(t1 - t0)
         tm.WAL_RECORDS.inc()
@@ -159,11 +219,10 @@ class UpdateLog:
         if not records:
             return
         t0 = time.perf_counter()
-        self._fh.write("".join(frame_record(record) for record in records))
-        self._fh.flush()
+        self._write_flush("".join(frame_record(record) for record in records))
         t1 = time.perf_counter()
         if self.fsync:
-            os.fsync(self._fh.fileno())
+            self._fsync_once()
             tm.WAL_FSYNC_SECONDS.observe(time.perf_counter() - t1)
         tm.WAL_APPEND_SECONDS.observe(t1 - t0)
         tm.WAL_RECORDS.inc(len(records))
@@ -232,7 +291,16 @@ class ReliabilityManager:
         self.seq = seq
         self.lsn = lsn
         self.last_checkpoint_tick = last_checkpoint_tick
-        self._wal = UpdateLog(_wal_path(state_dir, seq), fsync=config.fsync)
+        self._wal = UpdateLog(
+            _wal_path(state_dir, seq), fsync=config.fsync, faults=config.faults
+        )
+        # Budget enforcement rides along only when configured (lazy import:
+        # resources.py reaches back into this module for layout helpers).
+        self.resources = None
+        if config.resources is not None:
+            from .resources import ResourceManager
+
+            self.resources = ResourceManager(self, config.resources)
         # Called with each record *after* it is durably appended — the
         # WAL-shipping hook of the replication layer.  A record is only
         # shipped once it is on disk, so a replica can never get ahead of
@@ -268,6 +336,9 @@ class ReliabilityManager:
                     "checkpoint_interval": config.checkpoint_interval,
                     "keep_checkpoints": config.keep_checkpoints,
                     "fsync": config.fsync,
+                    "resources": (
+                        config.resources.to_dict() if config.resources else None
+                    ),
                 },
             },
         )
@@ -361,6 +432,7 @@ class ReliabilityManager:
         started = time.perf_counter()
         if self.faults is not None:
             self.faults.hit("checkpoint.write")
+            self.faults.hit("checkpoint_write")  # resource-fault alias (ENOSPC/EIO)
         new_seq = self.seq + 1
         save_server(server, _ckpt_npz_path(self.state_dir, new_seq), atomic=True)
         _atomic_write_json(
@@ -375,16 +447,61 @@ class ReliabilityManager:
         )
         self._wal.close()
         self.seq = new_seq
-        self._wal = UpdateLog(_wal_path(self.state_dir, new_seq), fsync=self.config.fsync)
+        self._wal = UpdateLog(
+            _wal_path(self.state_dir, new_seq),
+            fsync=self.config.fsync,
+            faults=self.faults,
+        )
         self.last_checkpoint_tick = server.tnow
         self._prune()
         tm.CHECKPOINTS.inc()
         tm.CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
         return new_seq
 
+    # ------------------------------------------------------------------
+    # poisoned-descriptor recovery
+    # ------------------------------------------------------------------
+    @property
+    def wal_poisoned(self) -> bool:
+        """True once a write/flush/fsync failed on the current segment's
+        descriptor; writes raise until :meth:`reopen_wal` succeeds."""
+        return self._wal.poisoned
+
+    def reopen_wal(self) -> None:
+        """Leave a poisoned segment behind by opening a *fresh* one.
+
+        The fsyncgate rule forbids touching the poisoned descriptor
+        again, but the *file* is fair game through a new descriptor: its
+        unacknowledged tail (torn lines, records past the acked LSN that
+        a failed fsync may or may not have persisted) is truncated away
+        so the LSN chain stays contiguous when the next acked record
+        lands in the new segment.  Raises ``OSError`` while the disk is
+        still refusing writes — the caller stays read-only and probes
+        again later.  No-op on a healthy log.
+        """
+        if not self._wal.poisoned:
+            return
+        _truncate_unacked(self._wal.path, self.lsn)
+        new_seq = self.seq + 1
+        self._wal = UpdateLog(
+            _wal_path(self.state_dir, new_seq),
+            fsync=self.config.fsync,
+            faults=self.faults,
+        )
+        self.seq = new_seq
+
     def _prune(self) -> None:
         """Drop checkpoints beyond ``keep_checkpoints`` and WAL segments
-        older than the oldest kept checkpoint (still replayable from it)."""
+        older than the oldest kept checkpoint (still replayable from it).
+
+        Under a :class:`~repro.reliability.resources.ResourceManager` the
+        interval rule is superseded by the retention rule, which also
+        respects every replica's acknowledged LSN — the keep-N pruner
+        would happily drop a tail a partitioned replica is still owed.
+        """
+        if self.resources is not None:
+            self.resources.prune()
+            return
         keep = max(1, self.config.keep_checkpoints)
         ckpt_seqs = _list_seqs(self.state_dir, _CKPT_RE)
         kept = ckpt_seqs[-keep:]
@@ -407,6 +524,38 @@ class ReliabilityManager:
 
     def close(self) -> None:
         self._wal.close()
+
+
+def _truncate_unacked(path: str, acked_lsn: int) -> None:
+    """Cut a poisoned segment back to its acknowledged prefix.
+
+    Operates through a fresh descriptor (the poisoned one is never
+    reused).  Keeps every intact framed record with
+    ``lsn <= acked_lsn``; the first torn, corrupt or higher-LSN line —
+    exactly the bytes whose durability the failed fsync left unknown —
+    and everything after it are dropped.  Nothing acknowledged is ever
+    in that region: acks happen only after a successful append+fsync.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return  # nothing on disk to repair
+    good_bytes = 0
+    for line in data.splitlines(keepends=True):
+        try:
+            text = line.decode("utf-8")
+            if not text.endswith("\n"):
+                raise ValueError("unterminated line")
+            record = parse_wal_line(text)
+            if int(record.get("lsn", acked_lsn + 1)) > acked_lsn:
+                break
+            good_bytes += len(line)
+        except (UnicodeDecodeError, ValueError):
+            break
+    if good_bytes < len(data):
+        with open(path, "rb+") as fh:
+            fh.truncate(good_bytes)
 
 
 # ----------------------------------------------------------------------
@@ -544,6 +693,8 @@ def recover_server(
             keep_checkpoints=int(rel_meta["keep_checkpoints"]),
             fsync=bool(rel_meta["fsync"]),
             faults=faults,
+            # absent from directories written before budgets existed
+            resources=ResourceConfig.from_dict(rel_meta.get("resources")),
         )
     except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
         raise RecoveryError(f"corrupt server-config.json in {state_dir!r}: {exc}") from exc
@@ -588,7 +739,11 @@ def recover_server(
     manager = ReliabilityManager.resume(state_dir, rc, lsn=last_lsn)
     server.attach_manager(manager)
     if audit:
-        audit_server(server)
+        try:
+            audit_server(server)
+        except AuditError:
+            manager.close()  # don't leak the resumed WAL descriptor
+            raise
     # The recovered server starts a fresh serving life: per-query counters
     # and the stage-seconds accumulators describe *this* incarnation, not
     # the one that crashed (snapshot restore may have carried them over).

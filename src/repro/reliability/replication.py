@@ -381,8 +381,22 @@ class ReplicationGroup:
         self.coordinator = FailoverCoordinator(self.clock, self.replication.lease_timeout)
         tm.REPLICATION_EPOCH.set(self.epoch)
         primary._manager.on_append.append(self._ship)
+        self._wire_resources(primary._manager)
         for i in range(n_replicas):
             self.add_replica(f"replica-{i}")
+
+    def _wire_resources(self, manager) -> None:
+        """Point the manager's retention floor at the live replica set.
+
+        WAL retention may never prune a record a live replica has not
+        applied — re-wired onto every manager incarnation (initial,
+        promoted, anti-entropy resumed), all of which share the group's
+        replica list through this closure.
+        """
+        if manager.resources is not None:
+            manager.resources.replica_lsns = lambda: [
+                r.applied_lsn for r in self.replicas
+            ]
 
     @staticmethod
     def _read_tnow0(state_dir: str) -> int:
@@ -495,6 +509,13 @@ class ReplicationGroup:
         for replica in self.replicas:
             if replica.stalled or replica.lag(self._acked_lsn) > 0:
                 replica.catch_up(self.state_dir)
+            if replica.lag(self._acked_lsn) > 0:
+                # the log alone could not close the gap — the tail this
+                # replica was owed sits behind a pruned horizon whose
+                # replacement segment is still empty, so records_from_lsn
+                # had nothing to trip over.  Bootstrap from the newest
+                # checkpoint image and replay whatever tail remains.
+                replica.catch_up(self.state_dir, prefer_image=True)
 
     # ------------------------------------------------------------------
     # anti-entropy
@@ -537,6 +558,7 @@ class ReplicationGroup:
                     self.state_dir, self.primary.reliability, lsn=self._acked_lsn
                 )
                 manager.on_append.append(self._ship)
+                self._wire_resources(manager)
                 self.primary.attach_manager(manager)
         return report
 
@@ -596,6 +618,7 @@ class ReplicationGroup:
         )
         manager = ReliabilityManager.resume(self.state_dir, rc, lsn=replica.applied_lsn)
         manager.on_append.append(self._ship)
+        self._wire_resources(manager)
         old = self.primary
         self.epoch = new_epoch  # _ship must stamp the new epoch below
         self.replicas.remove(replica)
@@ -760,6 +783,7 @@ class ReplicationGroup:
                 "role": self.primary.role,
                 "acked_lsn": self._acked_lsn,
                 "tnow": self.primary.tnow,
+                "read_only": self.primary.read_only,
             },
             "staleness_bound": self.replication.staleness_bound,
             "replicas": [
@@ -784,6 +808,10 @@ class ReplicationGroup:
         report["replication"] = self.status()
         report["admission"] = self.admission.report() if self.admission else None
         return report
+
+    def probe_resources(self) -> bool:
+        """Try to lift the acting primary out of read-only degraded mode."""
+        return self.primary.probe_resources()
 
     def close(self) -> None:
         if self.primary_alive:

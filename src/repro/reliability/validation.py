@@ -36,6 +36,7 @@ __all__ = [
     "DeadLetterQueue",
     "ReportPolicy",
     "ReportValidator",
+    "ResourceConfig",
     "ReliabilityConfig",
 ]
 
@@ -164,6 +165,59 @@ class ReportValidator:
 
 
 @dataclass
+class ResourceConfig:
+    """Resource-exhaustion knobs (disk budget, memory watermark).
+
+    ``soft_limit_bytes``: state-dir size at which the server checkpoints
+    and prunes retention-covered WAL segments.  ``hard_limit_bytes``:
+    size at which it flips to read-only degraded mode (queries keep
+    serving, writes are refused with ``retry_after``).  Either may be
+    ``None`` to disable that watermark.  ``memory_limit_bytes`` bounds
+    the reclaimable query-path memory (prefix/block-sum caches plus
+    slow-query exemplars); crossing it sheds those caches.
+    ``readonly_retry_after`` is the hint carried on refused writes.
+
+    The object is deliberately mutable and *shared* (never copied by
+    ``dataclasses.replace`` of the enclosing ``ReliabilityConfig``), so
+    an operator — or the resource chaos scheduler — resizing the budget
+    is seen by every incarnation of the manager, across failovers.
+    """
+
+    soft_limit_bytes: Optional[int] = None
+    hard_limit_bytes: Optional[int] = None
+    memory_limit_bytes: Optional[int] = None
+    readonly_retry_after: float = 0.5
+
+    def to_dict(self) -> dict:
+        return {
+            "soft_limit_bytes": self.soft_limit_bytes,
+            "hard_limit_bytes": self.hard_limit_bytes,
+            "memory_limit_bytes": self.memory_limit_bytes,
+            "readonly_retry_after": self.readonly_retry_after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[dict]) -> Optional["ResourceConfig"]:
+        if not payload:
+            return None
+        return cls(
+            soft_limit_bytes=(
+                None if payload.get("soft_limit_bytes") is None
+                else int(payload["soft_limit_bytes"])
+            ),
+            hard_limit_bytes=(
+                None if payload.get("hard_limit_bytes") is None
+                else int(payload["hard_limit_bytes"])
+            ),
+            memory_limit_bytes=(
+                None if payload.get("memory_limit_bytes") is None
+                else int(payload["memory_limit_bytes"])
+            ),
+            readonly_retry_after=float(payload.get("readonly_retry_after", 0.5)),
+        )
+
+
+@dataclass
 class ReliabilityConfig:
     """Everything the server's reliability layer can be tuned with.
 
@@ -171,7 +225,9 @@ class ReliabilityConfig:
     a full checkpoint every ``checkpoint_interval`` ticks, from which
     :meth:`PDRServer.recover` reconstructs the server after a crash.
     ``faults`` attaches a :class:`FaultInjector`, whose (virtual) clock
-    then also drives query deadlines and retry backoff.
+    then also drives query deadlines and retry backoff.  ``resources``
+    attaches disk/memory budgets (see :class:`ResourceConfig` and
+    :mod:`repro.reliability.resources`).
     """
 
     policy: ReportPolicy = field(default_factory=ReportPolicy)
@@ -183,3 +239,4 @@ class ReliabilityConfig:
     keep_checkpoints: int = 2
     fsync: bool = True
     faults: Optional[FaultInjector] = None
+    resources: Optional[ResourceConfig] = None

@@ -50,8 +50,10 @@ __all__ = ["ClientConfig", "ResilientClient", "WireError"]
 
 Endpoint = Tuple[str, int]
 
-# wire error codes the client retries (everything else surfaces)
-_RETRYABLE = {"shed", "draining", "too_many_inflight", "staleness"}
+# wire error codes the client retries (everything else surfaces);
+# read_only means the backend is resource-degraded — the write is retried
+# after the hinted delay exactly like a shed
+_RETRYABLE = {"shed", "draining", "too_many_inflight", "staleness", "read_only"}
 
 
 class WireError(ServingError):
@@ -230,7 +232,7 @@ class ResilientClient:
             return
         if code in _RETRYABLE:
             retry_after = frame.get("retry_after")
-            if code in ("shed", "draining") and retry_after is None:
+            if code in ("shed", "draining", "read_only") and retry_after is None:
                 # the protocol invariant the chaos oracle checks
                 self.sheds_missing_retry_after += 1
             delay = self._backoff(attempt)

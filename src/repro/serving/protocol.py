@@ -28,9 +28,11 @@ re-discovery signal).  Error frames look like::
      "epoch": 3}
 
 ``error`` is one of :data:`ERROR_CODES`; ``retry_after`` (seconds) is
-**always present** on ``shed`` and ``draining`` frames — that invariant
-is one of the chaos oracles — and ``redirect`` names the acting
-primary's advertised address when known.
+**always present** on ``shed``, ``draining`` and ``read_only`` frames —
+that invariant is one of the chaos oracles — and ``redirect`` names the
+acting primary's advertised address when known.  ``read_only`` means the
+backend entered resource-degraded mode (disk budget exhausted or WAL
+poisoned): reads keep flowing, writes should be retried after the hint.
 """
 
 from __future__ import annotations
@@ -65,6 +67,7 @@ ERROR_CODES = (
     "shed",             # admission control shed the request (retry_after)
     "draining",         # server is draining; go elsewhere (retry_after)
     "not_primary",      # writes must go to the acting primary (redirect)
+    "read_only",        # resource-degraded: writes refused (retry_after)
     "staleness",        # no backend within the staleness bound
     "deadline",         # the query missed its deadline on every rung
     "query_failed",     # evaluation failed; not retryable as-is

@@ -49,6 +49,7 @@ from ..core.errors import (
     NotPrimaryError,
     ProtocolError,
     QueryError,
+    ReadOnlyError,
     ReproError,
     ServingError,
     StalenessExceededError,
@@ -168,12 +169,17 @@ class PDRTCPServer:
             return "primary" if self.backend.primary_alive else "unavailable"
         return self.backend.role
 
+    def _read_only(self) -> bool:
+        server = self.backend.primary if self._is_group else self.backend
+        return bool(getattr(server, "read_only", False))
+
     def _health_payload(self) -> dict:
         return {
             "ok": True,
             "live": True,
             "ready": not self.draining and self._role() == "primary",
             "draining": self.draining,
+            "read_only": self._read_only(),
             "role": self._role(),
             "epoch": self._epoch(),
             "lsn": self._lsn(),
@@ -297,6 +303,12 @@ class PDRTCPServer:
         except NotPrimaryError as exc:
             redirect = self.config.primary_address
             return self._error_frame("not_primary", str(exc), redirect=redirect)
+        except ReadOnlyError as exc:
+            # before the ReproError catch-all: resource degradation is a
+            # structured, retryable condition, not an internal error
+            return self._error_frame(
+                "read_only", str(exc), retry_after=exc.retry_after
+            )
         except StalenessExceededError as exc:
             return self._error_frame("staleness", str(exc), retry_after=0.05)
         except DeadlineExceededError as exc:
@@ -321,7 +333,8 @@ class PDRTCPServer:
                      redirect=None, request=None) -> dict:
         frame = {"ok": False, "error": code, "message": message,
                  "epoch": self._epoch()}
-        if code in ("shed", "draining", "too_many_inflight", "staleness"):
+        if code in ("shed", "draining", "too_many_inflight", "staleness",
+                    "read_only"):
             # the retry invariant: these codes ALWAYS carry retry_after
             frame["retry_after"] = float(retry_after or 0.0)
         elif retry_after is not None:
@@ -417,10 +430,16 @@ class PDRTCPServer:
                 "cpu_seconds": result.stats.cpu_seconds,
             }
         if op == "status":
+            # operator polling doubles as the resource probe: a backend in
+            # read-only degraded mode tries to heal whenever it is looked
+            # at (no-op — and cheap — while writable)
+            if hasattr(backend, "probe_resources"):
+                backend.probe_resources()
             if self._is_group:
                 return {"status": self.backend.status()}
             return {"status": {"role": backend.role, "epoch": self._epoch(),
-                               "lsn": self._lsn(), "tnow": int(backend.tnow)}}
+                               "lsn": self._lsn(), "tnow": int(backend.tnow),
+                               "read_only": self._read_only()}}
         raise ProtocolError(f"unknown op {op!r}", code="bad_request")
 
 

@@ -43,6 +43,12 @@ REQUIRED_FAMILIES = (
     "repro_histogram_cache_hits_total",
     "repro_histogram_cache_hit_ratio",
     "repro_admission_sheds_total",
+    # unlabeled resource gauges exist (at zero) from process start;
+    # repro_resource_events_total is labeled and only materialises under
+    # actual resource pressure, so it is not required of every scrape
+    "repro_state_dir_bytes",
+    "repro_wal_segments",
+    "repro_readonly",
     "repro_build_info",
 )
 

@@ -154,6 +154,28 @@ TPR_REPACKS = _reg.counter(
 )
 
 # ----------------------------------------------------------------------
+# resource budgets (disk / memory exhaustion)
+# ----------------------------------------------------------------------
+STATE_DIR_BYTES = _reg.gauge(
+    "repro_state_dir_bytes",
+    "Bytes held by the durable state directory (WAL + checkpoints)",
+)
+WAL_SEGMENTS = _reg.gauge(
+    "repro_wal_segments", "WAL segments currently present in the state directory"
+)
+READONLY = _reg.gauge(
+    "repro_readonly",
+    "1 while the server is in read-only degraded mode, else 0",
+)
+RESOURCE_EVENTS = _reg.counter(
+    "repro_resource_events_total",
+    "Resource-budget lifecycle events",
+    # soft_watermark | hard_watermark | readonly_enter | readonly_exit |
+    # prune | wal_poisoned | wal_reopened | memory_shed
+    labelnames=("event",),
+)
+
+# ----------------------------------------------------------------------
 # chaos oracles
 # ----------------------------------------------------------------------
 CHAOS_ORACLES = _reg.counter(
