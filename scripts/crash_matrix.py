@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""The crashpoint × seed kill matrix, swept in parallel.
+
+Each cell SIGKILLs a real supervised ``repro serve`` process at one
+armed crashpoint, restarts it over the same state directory, and checks
+the recovered on-disk state against the durability oracles (zero
+acked-write loss, ``verify_state_dir`` clean-or-quarantined, contiguous
+LSN chain) — see :mod:`repro.reliability.prochaos`.
+
+CI runs a subset (all sites × a few seeds); the nightly sweep runs the
+full matrix (all sites × 10 seeds).  Cells are process-bound, so a
+thread pool is the right parallelism: each worker thread mostly waits
+on its cell's child processes.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/crash_matrix.py --seeds 3 --jobs 4
+    PYTHONPATH=src python scripts/crash_matrix.py --sites wal_write wal_fsync
+
+Exit 0 when every cell's oracles hold; exit 9 with per-cell reproducers
+on stderr (and ``--out`` JSON for artifact upload) otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.reliability.crashpoints import CRASH_SITES  # noqa: E402
+from repro.reliability.prochaos import (  # noqa: E402
+    ProcessChaosConfig,
+    run_process_cell,
+)
+
+EXIT_ORACLE_FAILED = 9
+
+
+def _run_cell(site: str, seed: int, workroot: str):
+    workdir = os.path.join(workroot, f"{site.replace('.', '-')}-{seed}")
+    os.makedirs(workdir, exist_ok=True)
+    try:
+        return run_process_cell(
+            ProcessChaosConfig(site=site, seed=seed), workdir
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--sites", nargs="+", default=list(CRASH_SITES),
+                        help="crashpoints to sweep (default: the full matrix)")
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="seeds per site (0..N-1)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="cells in flight at once (each cell owns its "
+                             "own child processes and ports)")
+    parser.add_argument("--out", default=None,
+                        help="write the full matrix result JSON here")
+    args = parser.parse_args(argv)
+
+    cells = [(site, seed) for site in args.sites
+             for seed in range(args.seeds)]
+    print(f"crash matrix: {len(args.sites)} site(s) × {args.seeds} seed(s) "
+          f"= {len(cells)} cells, {args.jobs} in flight", flush=True)
+
+    workroot = tempfile.mkdtemp(prefix="repro-crash-matrix-")
+    results = []
+    started = time.monotonic()
+    try:
+        with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+            futures = {
+                pool.submit(_run_cell, site, seed, workroot): (site, seed)
+                for site, seed in cells
+            }
+            for future in concurrent.futures.as_completed(futures):
+                site, seed = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # harness bug, not an oracle verdict
+                    print(f"FAIL {site} seed={seed}: harness error: {exc}",
+                          flush=True)
+                    results.append({
+                        "site": site, "seed": seed, "ok": False,
+                        "violations": [f"harness error: {exc}"],
+                    })
+                    continue
+                verdict = "ok  " if result.ok else "FAIL"
+                print(f"{verdict} {site} seed={seed} "
+                      f"restarts={result.stats.get('restarts', 0)} "
+                      f"acked={result.stats.get('max_acked_lsn', 0)} "
+                      f"recovered={result.stats.get('recovered_lsn', 0)}",
+                      flush=True)
+                results.append(result.to_dict())
+    finally:
+        shutil.rmtree(workroot, ignore_errors=True)
+
+    failed = [r for r in results if not r["ok"]]
+    elapsed = time.monotonic() - started
+    print(f"crash matrix: {len(results) - len(failed)}/{len(results)} cells "
+          f"green in {elapsed:.0f}s", flush=True)
+    for cell in failed:
+        print(f"  FAILED: site={cell['site']} seed={cell['seed']}",
+              file=sys.stderr)
+        for violation in cell.get("violations", []):
+            print(f"    {violation}", file=sys.stderr)
+        if cell.get("rerun"):
+            print(f"    rerun: {cell['rerun']}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump({"cells": results, "elapsed_seconds": elapsed},
+                      fh, indent=2)
+        print(f"matrix result written to {args.out}", flush=True)
+    return EXIT_ORACLE_FAILED if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,9 +39,12 @@ Exit codes (stable; scripts may rely on them):
 6       data-generation failures
 7       replication/serving failures (staleness, failover exhaustion,
         retries exhausted against a front door)
-8       integrity damage (``verify`` found checksum-failing artifacts)
+8       integrity damage (``verify`` found checksum-failing artifacts;
+        ``serve`` refused a corrupt state dir without ``--force-recover``)
 9       chaos invariant-oracle violation (``chaos``; finding, not error)
 10      loadtest SLO violation or acked-write loss (finding, not error)
+11      state directory locked by another live server process
+12      supervisor gave up on a crash-looping child (``supervise``)
 130     interrupted before completion (``Ctrl-C`` outside ``serve``/
         ``metrics --serve``, whose interrupts mean "stop serving" and
         exit 0 after a drain)
@@ -63,6 +66,7 @@ from .core.errors import (
     QueryError,
     ReplicationError,
     ReproError,
+    StateDirLockedError,
     StorageError,
 )
 from .datagen.network import synthetic_metro
@@ -83,6 +87,7 @@ __all__ = ["main", "build_parser", "EXIT_CODES"]
 # oracle fails (that is a finding, not an exception).
 EXIT_CODES = (
     (InvalidParameterError, 2),
+    (StateDirLockedError, 11),
     (IntegrityError, 8),
     (StorageError, 3),
     (ReplicationError, 7),
@@ -94,6 +99,8 @@ EXIT_CODES = (
 EXIT_VERIFY_FAILED = 8
 EXIT_CHAOS_ORACLE_FAILED = 9
 EXIT_LOADTEST_FAILED = 10
+EXIT_STATE_LOCKED = 11
+EXIT_CRASH_LOOP = 12
 EXIT_INTERRUPTED = 130
 
 
@@ -210,6 +217,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "and checkpoint faults) and check the "
                             "read-only-monotonicity and acked-write-loss "
                             "oracles under them")
+    chaos.add_argument("--process", action="store_true",
+                       help="run the process-level kill matrix instead: "
+                            "SIGKILL a real supervised `repro serve` child "
+                            "at an armed crashpoint, restart it, and check "
+                            "the recovered on-disk state (zero acked-write "
+                            "loss, clean-or-quarantined, contiguous LSN "
+                            "chain)")
+    chaos.add_argument("--crashpoint", default=None,
+                       help="with --process: run only this crashpoint "
+                            "(default: every site on the matrix)")
 
     serve = sub.add_parser(
         "serve",
@@ -245,6 +262,59 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="also serve /metrics on this port (0 = ephemeral; "
                             "printed to stdout as `metrics-port=N`)")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync every WAL append (durable acks; the "
+                            "default trades that for throughput)")
+    serve.add_argument("--checkpoint-interval", type=int, default=0,
+                       help="checkpoint every N ticks (0 = WAL only)")
+    serve.add_argument("--force-recover", action="store_true",
+                       help="boot from a state dir the verifier flags as "
+                            "corrupt by quarantining the damage first "
+                            "(default: refuse with exit 8)")
+
+    sup = sub.add_parser(
+        "supervise",
+        help="run `repro serve` as a supervised child process: restart "
+             "crashes with capped jittered backoff, probe TCP health, "
+             "give up on crash loops (exit 12); args after `--` are "
+             "forwarded to serve verbatim",
+    )
+    sup.add_argument("--host", default="127.0.0.1", help="child bind address")
+    sup.add_argument("--port", type=int, default=0,
+                     help="child TCP port (0 = first child picks an "
+                          "ephemeral port, then every restart reuses it)")
+    sup.add_argument("--probe-interval", type=float, default=0.2,
+                     help="seconds between health probes")
+    sup.add_argument("--probe-timeout", type=float, default=2.0,
+                     help="per-probe socket budget (seconds)")
+    sup.add_argument("--liveness-failures", type=int, default=3,
+                     help="consecutive failed probes before a live but "
+                          "unresponsive child is killed as hung")
+    sup.add_argument("--startup-deadline", type=float, default=30.0,
+                     help="seconds a child gets to bind and report ready")
+    sup.add_argument("--backoff-initial", type=float, default=0.2,
+                     help="restart backoff floor (seconds)")
+    sup.add_argument("--backoff-max", type=float, default=5.0,
+                     help="restart backoff cap (seconds)")
+    sup.add_argument("--crash-loop-threshold", type=int, default=5,
+                     help="crashes within the window that mean give up")
+    sup.add_argument("--crash-loop-window", type=float, default=30.0,
+                     help="sliding crash-loop window (seconds)")
+    sup.add_argument("--max-restarts", type=int, default=None,
+                     help="restart budget (default: unbounded)")
+    sup.add_argument("--graceful-deadline", type=float, default=10.0,
+                     help="drain budget on SIGTERM before SIGKILL")
+    sup.add_argument("--seed", type=int, default=0,
+                     help="backoff-jitter seed (determinism for tests)")
+    sup.add_argument("--arm-crashpoint", default=None, metavar="SITE",
+                     help="kill-matrix hook: arm this crashpoint in the "
+                          "FIRST child only (restarts spawn disarmed)")
+    sup.add_argument("--arm-after", type=int, default=0,
+                     help="crashpoint hits to skip before the kill")
+    sup.add_argument("--arm-torn", type=float, default=None,
+                     help="torn-write fraction for the wal_write site")
+    sup.add_argument("serve_args", nargs=argparse.REMAINDER,
+                     help="arguments after `--` are passed to `repro serve`")
 
     lt = sub.add_parser(
         "loadtest",
@@ -448,10 +518,59 @@ def _cmd_verify(args) -> int:
     return 0 if report.clean else EXIT_VERIFY_FAILED
 
 
+def _cmd_chaos_process(args) -> int:
+    import json
+    import os
+    import shutil
+    import tempfile
+
+    from .reliability.crashpoints import CRASH_SITES
+    from .reliability.prochaos import ProcessChaosConfig, run_process_cell
+
+    sites = [args.crashpoint] if args.crashpoint else list(CRASH_SITES)
+    workroot = tempfile.mkdtemp(prefix="repro-prochaos-")
+    failures = []
+    try:
+        for site in sites:
+            workdir = os.path.join(
+                workroot, f"{site.replace('.', '-')}-{args.seed}"
+            )
+            os.makedirs(workdir, exist_ok=True)
+            result = run_process_cell(
+                ProcessChaosConfig(site=site, seed=args.seed), workdir
+            )
+            if result.ok:
+                print(
+                    f"process-crash: site={site} seed={args.seed} — "
+                    f"{result.stats.get('restarts', 0)} restart(s), acked "
+                    f"lsn {result.stats.get('max_acked_lsn', 0)}, recovered "
+                    f"lsn {result.stats.get('recovered_lsn', 0)}, generation "
+                    f"{result.stats.get('client_generation', 0)} — "
+                    "oracles green"
+                )
+            else:
+                print(result.format_reproducer(), file=sys.stderr)
+                failures.append(result)
+        if not failures:
+            return 0
+        if args.repro_out:
+            with open(args.repro_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    [f.to_dict() for f in failures], fh, indent=2
+                )
+            print(f"reproducer written to {args.repro_out}", file=sys.stderr)
+        return EXIT_CHAOS_ORACLE_FAILED
+    finally:
+        shutil.rmtree(workroot, ignore_errors=True)
+
+
 def _cmd_chaos(args) -> int:
     import json
     import shutil
     import tempfile
+
+    if args.process:
+        return _cmd_chaos_process(args)
 
     from .reliability.chaos import ChaosConfig, ChaosScheduler
 
@@ -506,15 +625,80 @@ def _cmd_chaos(args) -> int:
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def _boot_verify(state_dir: str, force_recover: bool) -> None:
+    """Gate `serve` boot on the integrity verdict of an existing state dir.
+
+    Safe damage (a torn WAL tail from the previous crash, stray ``*.tmp``
+    leftovers of an interrupted rename) is repaired in place — that is
+    exactly what recovery's replay scan would do anyway.  Real corruption
+    is refused (exit 8) unless ``--force-recover`` explicitly accepts the
+    quarantine: a supervised child must never silently crash-loop its way
+    into serving from a directory whose checksums do not add up.
+    """
+    from .reliability.integrity import scrub_state_dir, verify_state_dir
+
+    report = verify_state_dir(state_dir)
+    corrupt = [f for f in report.damaged() if f.state == "corrupt"]
+    if corrupt and not force_recover:
+        names = ", ".join(f.name for f in corrupt)
+        raise IntegrityError(
+            f"state dir {state_dir!r} holds corrupt artifact(s): {names}; "
+            "refusing to serve from damaged state "
+            "(repair/quarantine with `repro verify --scrub`, or accept the "
+            "quarantine with `repro serve --force-recover`)"
+        )
+    if not report.clean or report.stray_tmp():
+        repaired = scrub_state_dir(state_dir)
+        for action in repaired.actions:
+            print(f"boot-scrub: {action}", file=sys.stderr)
+
+
+def _recovered_group(state_dir: str, args):
+    """Recover an existing durable directory into a serving group."""
+    from .reliability.replication import ReplicationConfig, ReplicationGroup
+
+    _boot_verify(state_dir, args.force_recover)
+    primary = PDRServer.recover(state_dir)
+    print(
+        f"recovered {state_dir} at lsn {primary.wal_lsn}, "
+        f"generation {primary.recovery_generation}",
+        file=sys.stderr,
+    )
+    if args.replicas > 0 and primary._manager is not None:
+        from .reliability.recovery import load_latest_checkpoint
+
+        # replicas bootstrap from a checkpoint image; make sure one exists
+        if load_latest_checkpoint(state_dir) is None:
+            primary._manager.checkpoint(primary)
+    return ReplicationGroup(
+        primary,
+        n_replicas=args.replicas,
+        config=ReplicationConfig(staleness_bound=args.staleness),
+    )
+
+
 def _cmd_serve(args) -> int:
+    import os
     import shutil
     import signal
     import tempfile
     import threading
 
+    from .reliability.crashpoints import arm_from_env
     from .serving.loadtest import build_serving_group
     from .serving.server import ServerThread, ServingConfig
 
+    armed = arm_from_env()
+    if armed:
+        print(f"crashpoint armed: {armed}", file=sys.stderr)
+    # install the drain handlers before the server (and its health
+    # endpoint) exists: a supervisor forwards SIGTERM the moment a
+    # probe reports ready, which can be before this function's next
+    # few statements have run — the default disposition there would
+    # turn a graceful stop into a 143 corpse
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
     owned_dir = None
     if args.state_dir is None:
         owned_dir = tempfile.mkdtemp(prefix="repro-serve-")
@@ -524,11 +708,16 @@ def _cmd_serve(args) -> int:
     if args.snapshot is not None:
         group = _serving_group(args.snapshot, args.replicas, args.staleness,
                                state_dir)
+    elif os.path.exists(os.path.join(state_dir, "server-config.json")):
+        # a previous incarnation (crashed or drained) left durable state:
+        # serve what it acknowledged, not a fresh workload over it
+        group = _recovered_group(state_dir, args)
     else:
         group = build_serving_group(
             state_dir, objects=args.objects, replicas=args.replicas,
             seed=args.seed, staleness=args.staleness,
             admission_rate=args.admission_rate,
+            fsync=args.fsync, checkpoint_interval=args.checkpoint_interval,
         )
     thread = ServerThread(group, ServingConfig(
         host=args.host, port=args.port, read_timeout=args.read_timeout,
@@ -550,9 +739,6 @@ def _cmd_serve(args) -> int:
             f"SIGTERM/Ctrl-C drains",
             file=sys.stderr,
         )
-        stop = threading.Event()
-        signal.signal(signal.SIGTERM, lambda *_: stop.set())
-        signal.signal(signal.SIGINT, lambda *_: stop.set())
         stop.wait()
         print(
             f"drain: no new connections; in-flight requests get "
@@ -568,6 +754,40 @@ def _cmd_serve(args) -> int:
             shutil.rmtree(owned_dir, ignore_errors=True)
     print("drained clean", file=sys.stderr)
     return 0
+
+
+def _cmd_supervise(args) -> int:
+    import signal
+
+    from .serving.supervisor import Supervisor, SupervisorConfig
+
+    serve_args = list(args.serve_args)
+    if serve_args and serve_args[0] == "--":
+        serve_args = serve_args[1:]
+    supervisor = Supervisor(SupervisorConfig(
+        serve_args=serve_args,
+        host=args.host,
+        port=args.port,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        liveness_failures=args.liveness_failures,
+        startup_deadline=args.startup_deadline,
+        backoff_initial=args.backoff_initial,
+        backoff_max=args.backoff_max,
+        crash_loop_threshold=args.crash_loop_threshold,
+        crash_loop_window=args.crash_loop_window,
+        max_restarts=args.max_restarts,
+        graceful_deadline=args.graceful_deadline,
+        seed=args.seed,
+        arm_crashpoint=args.arm_crashpoint,
+        arm_after=args.arm_after,
+        arm_torn=args.arm_torn,
+    ))
+    # SIGTERM/Ctrl-C mean "drain the child and stop", exit 0 — the same
+    # contract serve itself honors, one level up
+    signal.signal(signal.SIGTERM, lambda *_: supervisor.request_stop())
+    signal.signal(signal.SIGINT, lambda *_: supervisor.request_stop())
+    return supervisor.run()
 
 
 def _cmd_loadtest(args) -> int:
@@ -787,6 +1007,8 @@ def _dispatch(args) -> int:
         return _cmd_chaos(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "supervise":
+        return _cmd_supervise(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
     if args.command == "metrics":

@@ -115,6 +115,22 @@ class ReadOnlyError(StorageError):
         self.reason = reason
 
 
+class StateDirLockedError(StorageError):
+    """Another OS process holds the state directory's exclusive lock.
+
+    Two server processes appending to one WAL would interleave records
+    and fork the LSN chain, so the second opener is refused outright
+    (CLI exit code 11) instead of waiting: a supervisor that sees this
+    must not retry into the same directory while the holder lives.
+    ``holder`` carries whatever the lock file advertised about the
+    owning process (at least its pid, when readable).
+    """
+
+    def __init__(self, message: str, holder=None):
+        super().__init__(message)
+        self.holder = dict(holder) if holder else {}
+
+
 class IntegrityError(StorageError):
     """Checksummed state failed verification.
 

@@ -1,0 +1,197 @@
+"""Named, env-armed crashpoints that kill the *real* process.
+
+Every robustness layer before this one simulated crashes in-process
+(:class:`~repro.reliability.faults.InjectedCrashError` unwinds the stack;
+the chaos scheduler reconstructs a server object).  A real storage engine
+is validated the other way around: ``kill -9`` the process at the most
+durability-critical instruction and prove that a *fresh OS process*
+recovers the acknowledged state from disk (ALICE-style crash-consistency
+testing).  This module provides the kill switch.
+
+A **crashpoint** is a named site in the durability protocol.  The names
+reuse the established fault-site vocabulary of :mod:`.faults` /
+:mod:`.recovery` wherever a site already exists:
+
+======================  ================================================
+``wal.append``          before a record (or group-commit batch) is framed
+                        — the record is lost, but was never acknowledged
+``wal_write``           mid-append: with a torn fraction armed, a prefix
+                        of the payload lands on disk first (a torn line)
+``wal_fsync``           records written+flushed but not yet fsynced
+``checkpoint.write``    before the checkpoint image is written
+``checkpoint.sidecar``  image durable; sidecar tmp written, not renamed
+``checkpoint.manifest`` sidecar durable; manifest tmp written, not
+                        renamed — the classic crash-before-rename window
+``wal.prune``           mid-prune: some stale segments unlinked, not all
+``wal.reopen``          mid segment-reopen after a poisoned descriptor
+======================  ================================================
+
+Arming is **per process** via the environment, so a supervised child can
+be told to die exactly once at exactly one site:
+
+    REPRO_CRASHPOINT=checkpoint.manifest   the site to die at
+    REPRO_CRASHPOINT_AFTER=2               skip this many hits first
+    REPRO_CRASHPOINT_TORN=0.5              (wal_write only) land this
+                                           fraction of the payload first
+
+The instrumented sites call :func:`crashpoint`, which is a single
+attribute test while disarmed — cheap enough to leave in the hot WAL
+path unconditionally (unlike :class:`FaultInjector`, which only runs
+when a test wired an injector in).
+
+Death is ``SIGKILL`` to our own pid (with ``os._exit(137)`` as the
+fallback): no ``atexit``, no ``finally``, no flushing — the same
+guarantees a kernel OOM-kill or power loss gives the durability layer.
+Tests that must observe the kill *in-process* can :func:`arm` with a
+``kill`` callable that raises instead.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+from typing import Callable, Optional
+
+__all__ = [
+    "CRASH_SITES",
+    "ENV_SITE",
+    "ENV_AFTER",
+    "ENV_TORN",
+    "KILL_EXIT_CODE",
+    "arm",
+    "arm_from_env",
+    "disarm",
+    "armed_site",
+    "crashpoint",
+    "hard_kill",
+]
+
+# The canonical kill-matrix: every site a standard serve workload
+# (reports + advances across a few checkpoint cycles) deterministically
+# reaches.  ``wal.reopen`` is a valid crashpoint too, but needs a
+# poisoned WAL first, so it is not part of the default matrix.
+CRASH_SITES = (
+    "wal.append",
+    "wal_write",
+    "wal_fsync",
+    "checkpoint.write",
+    "checkpoint.sidecar",
+    "checkpoint.manifest",
+    "wal.prune",
+)
+
+ENV_SITE = "REPRO_CRASHPOINT"
+ENV_AFTER = "REPRO_CRASHPOINT_AFTER"
+ENV_TORN = "REPRO_CRASHPOINT_TORN"
+
+# What a SIGKILLed process reports as in shell convention (128 + 9); the
+# os._exit fallback uses the same number so supervisors see one code.
+KILL_EXIT_CODE = 137
+
+
+def hard_kill() -> None:  # pragma: no cover - the process dies here
+    """Die NOW: no unwinding, no atexit, no buffered-IO flush."""
+    try:
+        os.kill(os.getpid(), signal.SIGKILL)
+    except OSError:
+        pass
+    os._exit(KILL_EXIT_CODE)
+
+
+class _Armed:
+    """The single armed crashpoint of this process (or None)."""
+
+    __slots__ = ("site", "after", "torn", "hits", "kill")
+
+    def __init__(
+        self,
+        site: str,
+        after: int = 0,
+        torn: Optional[float] = None,
+        kill: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.site = site
+        self.after = int(after)
+        self.torn = None if torn is None else float(torn)
+        self.hits = 0
+        self.kill = kill or hard_kill
+
+
+_armed: Optional[_Armed] = None
+
+
+def arm(
+    site: str,
+    after: int = 0,
+    torn: Optional[float] = None,
+    kill: Optional[Callable[[], None]] = None,
+) -> None:
+    """Arm one crashpoint in this process (replacing any previous one).
+
+    ``after`` skips that many hits before the kill; ``torn`` (only
+    meaningful at ``wal_write``) lands that fraction of the payload
+    before dying; ``kill`` overrides the death mechanism for tests.
+    """
+    global _armed
+    if torn is not None and not 0.0 <= torn < 1.0:
+        raise ValueError(f"torn fraction must be in [0, 1), got {torn}")
+    _armed = _Armed(site, after=after, torn=torn, kill=kill)
+
+
+def disarm() -> None:
+    global _armed
+    _armed = None
+
+
+def armed_site() -> Optional[str]:
+    return _armed.site if _armed is not None else None
+
+
+def arm_from_env(environ=None) -> Optional[str]:
+    """Arm from ``REPRO_CRASHPOINT*`` variables; returns the site or None.
+
+    Called once at server boot (``repro serve``).  A malformed AFTER/TORN
+    value is a hard error: a kill-matrix cell that silently never fires
+    would report as green.
+    """
+    env = os.environ if environ is None else environ
+    site = env.get(ENV_SITE)
+    if not site:
+        return None
+    after = int(env.get(ENV_AFTER, "0"))
+    torn_raw = env.get(ENV_TORN)
+    torn = None if torn_raw in (None, "") else float(torn_raw)
+    arm(site, after=after, torn=torn)
+    return site
+
+
+def crashpoint(site: str, payload: Optional[str] = None, fh=None) -> None:
+    """Die here if this site is armed and its hit budget is spent.
+
+    ``payload``/``fh`` let the ``wal_write`` site land a torn prefix
+    first: the bytes a real mid-write power cut would have left behind.
+    Disarmed cost: one global load and one attribute compare.
+    """
+    armed = _armed
+    if armed is None or armed.site != site:
+        return
+    armed.hits += 1
+    if armed.hits <= armed.after:
+        return
+    if armed.torn is not None and payload and fh is not None:
+        try:
+            fh.write(payload[: max(1, int(len(payload) * armed.torn))])
+            fh.flush()
+        except (OSError, ValueError):  # pragma: no cover - dying anyway
+            pass
+    try:
+        print(
+            f"crashpoint: killing pid {os.getpid()} at {site!r} "
+            f"(hit {armed.hits})",
+            file=sys.stderr,
+            flush=True,
+        )
+    except OSError:  # pragma: no cover - stderr gone; still die
+        pass
+    armed.kill()

@@ -1,0 +1,149 @@
+"""Exclusive state-directory locking: one WAL writer per machine.
+
+Once a supervisor restarts children automatically, the failure mode "two
+server processes open the same WAL" stops being operator error and
+becomes a race the system must lose *safely*: a half-dead child that
+lingers past its replacement, or two supervisors pointed at one
+directory, would interleave appends and corrupt the LSN chain.
+
+:func:`acquire_state_dir_lock` takes a ``fcntl.flock`` exclusive lock on
+``<state_dir>/LOCK`` before the WAL is opened for append
+(:class:`~repro.reliability.recovery.ReliabilityManager` acquires it in
+its constructor and releases it on close).  Properties that matter here:
+
+* **Released by the kernel on process death** — a SIGKILLed child never
+  leaves a stale lock behind, so the supervisor's restart needs no lock
+  breaking, timeouts or pid-liveness heuristics.
+* **Advisory and re-entrant per process** (via a process-local refcount):
+  the in-process test suites legitimately "crash" a server object and
+  recover the same directory without the dead object ever closing — the
+  same OS process may hold the lock any number of times.  Only a
+  *different* process is refused.
+* **Informative refusal**: the holder writes ``{pid, created}`` into the
+  lock file, so :class:`~repro.core.errors.StateDirLockedError` (CLI
+  exit code 11) can say who owns the directory.
+
+The ``LOCK`` file itself is never deleted (unlinking a lock file is the
+classic double-lock race: a waiter holding an fd to the unlinked inode
+and a newcomer locking the fresh file both "win").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+from ..core.errors import StateDirLockedError
+
+__all__ = ["LOCK_FILENAME", "StateDirLock", "acquire_state_dir_lock"]
+
+LOCK_FILENAME = "LOCK"
+
+try:  # pragma: no cover - import guard for non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+
+class _Hold:
+    __slots__ = ("fd", "count")
+
+    def __init__(self, fd: int) -> None:
+        self.fd = fd
+        self.count = 1
+
+
+_holds: Dict[str, _Hold] = {}
+_holds_mutex = threading.Lock()
+
+
+class StateDirLock:
+    """One acquisition of a state directory's lock; call :meth:`release`."""
+
+    def __init__(self, key: str, path: str) -> None:
+        self._key = key
+        self.path = path
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        with _holds_mutex:
+            hold = _holds.get(self._key)
+            if hold is None:  # pragma: no cover - release without acquire
+                return
+            hold.count -= 1
+            if hold.count > 0:
+                return
+            del _holds[self._key]
+            if fcntl is not None:
+                try:
+                    fcntl.flock(hold.fd, fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover - unlock best-effort
+                    pass
+            try:
+                os.close(hold.fd)
+            except OSError:  # pragma: no cover - close best-effort
+                pass
+
+    def __enter__(self) -> "StateDirLock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def _read_holder(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.loads(fh.read() or "{}")
+    except (OSError, ValueError):
+        return None
+
+
+def acquire_state_dir_lock(state_dir: str) -> StateDirLock:
+    """Lock ``state_dir`` for exclusive WAL access by this process.
+
+    Re-entrant within one process (refcounted); raises
+    :class:`StateDirLockedError` when another process holds the lock.
+    """
+    key = os.path.realpath(state_dir)
+    path = os.path.join(state_dir, LOCK_FILENAME)
+    with _holds_mutex:
+        hold = _holds.get(key)
+        if hold is not None:
+            hold.count += 1
+            return StateDirLock(key, path)
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except (BlockingIOError, PermissionError) as exc:
+                    holder = _read_holder(path) or {}
+                    raise StateDirLockedError(
+                        f"state directory {state_dir!r} is locked by another "
+                        f"process (pid {holder.get('pid', 'unknown')}); two "
+                        "servers must never append to the same WAL",
+                        holder=holder,
+                    ) from exc
+            # Advertise ourselves for the error message of the next loser.
+            os.ftruncate(fd, 0)
+            os.write(
+                fd,
+                json.dumps(
+                    {"pid": os.getpid(), "created": time.time()}
+                ).encode("utf-8"),
+            )
+        except StateDirLockedError:
+            os.close(fd)
+            raise
+        except OSError:
+            os.close(fd)
+            raise
+        _holds[key] = _Hold(fd)
+        return StateDirLock(key, path)

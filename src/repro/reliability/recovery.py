@@ -56,8 +56,10 @@ from ..core.errors import (
     WALWriteError,
 )
 from ..telemetry import instruments as tm
+from .crashpoints import crashpoint
 from .faults import FaultInjector, InjectedShortWrite
 from .integrity import file_crc, frame_record, parse_wal_line
+from .lockfile import acquire_state_dir_lock
 from .validation import ReliabilityConfig, ReportPolicy, ResourceConfig
 
 __all__ = [
@@ -93,12 +95,19 @@ def _server_config_path(state_dir: str) -> str:
     return os.path.join(state_dir, "server-config.json")
 
 
-def _atomic_write_json(path: str, payload: dict) -> None:
+def _atomic_write_json(
+    path: str, payload: dict, crash_site: Optional[str] = None
+) -> None:
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(payload, fh)
         fh.flush()
         os.fsync(fh.fileno())
+    if crash_site is not None:
+        # the classic crash window: tmp durable but the rename not yet
+        # issued — recovery must ignore the stray .tmp and keep serving
+        # from whatever the path pointed at before
+        crashpoint(crash_site)
     os.replace(tmp, path)
 
 
@@ -176,6 +185,7 @@ class UpdateLog:
         try:
             if self.faults is not None:
                 self.faults.hit("wal_write")
+            crashpoint("wal_write", payload=data, fh=self._fh)
             self._fh.write(data)
             self._fh.flush()
         except InjectedShortWrite as exc:
@@ -194,6 +204,7 @@ class UpdateLog:
         try:
             if self.faults is not None:
                 self.faults.hit("wal_fsync")
+            crashpoint("wal_fsync")
             self.fsync_calls += 1
             os.fsync(self._fh.fileno())
         except OSError as exc:
@@ -291,6 +302,10 @@ class ReliabilityManager:
         self.seq = seq
         self.lsn = lsn
         self.last_checkpoint_tick = last_checkpoint_tick
+        # Exclusive WAL ownership: held for this manager's whole life so a
+        # second OS process can never append to the same segments.  The
+        # kernel drops it if we are SIGKILLed.
+        self._lock = acquire_state_dir_lock(state_dir)
         self._wal = UpdateLog(
             _wal_path(state_dir, seq), fsync=config.fsync, faults=config.faults
         )
@@ -360,6 +375,7 @@ class ReliabilityManager:
     def _append(self, record: dict) -> None:
         if self.faults is not None:
             self.faults.hit("wal.append")
+        crashpoint("wal.append")
         record["lsn"] = self.lsn + 1
         self._wal.append(record)
         self.lsn += 1
@@ -378,6 +394,7 @@ class ReliabilityManager:
             return
         if self.faults is not None:
             self.faults.hit("wal.append")
+        crashpoint("wal.append")
         for i, record in enumerate(records):
             record["lsn"] = self.lsn + 1 + i
         self._wal.append_many(records)
@@ -433,17 +450,20 @@ class ReliabilityManager:
         if self.faults is not None:
             self.faults.hit("checkpoint.write")
             self.faults.hit("checkpoint_write")  # resource-fault alias (ENOSPC/EIO)
+        crashpoint("checkpoint.write")
         new_seq = self.seq + 1
         save_server(server, _ckpt_npz_path(self.state_dir, new_seq), atomic=True)
         _atomic_write_json(
             _ckpt_sidecar_path(self.state_dir, new_seq),
             {"seq": new_seq, "lsn": self.lsn, "tnow": server.tnow},
+            crash_site="checkpoint.sidecar",
         )
         if self.faults is not None:
             self.faults.hit("checkpoint.manifest")
         _atomic_write_json(
             _manifest_path(self.state_dir),
             {"seq": new_seq, "digests": _checkpoint_digests(self.state_dir)},
+            crash_site="checkpoint.manifest",
         )
         self._wal.close()
         self.seq = new_seq
@@ -481,6 +501,7 @@ class ReliabilityManager:
         """
         if not self._wal.poisoned:
             return
+        crashpoint("wal.reopen")
         _truncate_unacked(self._wal.path, self.lsn)
         new_seq = self.seq + 1
         self._wal = UpdateLog(
@@ -500,6 +521,7 @@ class ReliabilityManager:
         would happily drop a tail a partitioned replica is still owed.
         """
         if self.resources is not None:
+            crashpoint("wal.prune")
             self.resources.prune()
             return
         keep = max(1, self.config.keep_checkpoints)
@@ -514,6 +536,10 @@ class ReliabilityManager:
                     os.unlink(path)
                 except OSError:  # pragma: no cover - best-effort
                     pass
+        # mid-prune crash window: stale checkpoint artifacts already
+        # unlinked, their covered WAL segments not yet — recovery must
+        # shrug at the half-deleted generation
+        crashpoint("wal.prune")
         if kept:
             for seq in _list_seqs(self.state_dir, _WAL_RE):
                 if seq < kept[0]:
@@ -524,6 +550,7 @@ class ReliabilityManager:
 
     def close(self) -> None:
         self._wal.close()
+        self._lock.release()
 
 
 def _truncate_unacked(path: str, acked_lsn: int) -> None:
@@ -676,89 +703,104 @@ def recover_server(
     config_path = _server_config_path(state_dir)
     if not os.path.exists(config_path):
         raise RecoveryError(f"{state_dir!r} holds no server state (no server-config.json)")
+    # Take the exclusive lock before the replay scan: it repairs torn WAL
+    # tails in place, which must never race a live writer in another
+    # process.  Released below once the resumed manager (which holds its
+    # own refcount on the same lock) has taken over.
+    boot_lock = acquire_state_dir_lock(state_dir)
     try:
-        with open(config_path, "r", encoding="utf-8") as fh:
-            meta = json.load(fh)
-        from ..storage.snapshot import config_from_dict
-
-        system_config = config_from_dict(meta["config"])
-        rel_meta = meta["reliability"]
-        rc = ReliabilityConfig(
-            policy=ReportPolicy(**rel_meta["policy"]),
-            dead_letter_capacity=int(rel_meta["dead_letter_capacity"]),
-            retries=int(rel_meta["retries"]),
-            backoff_seconds=float(rel_meta["backoff_seconds"]),
-            state_dir=state_dir,
-            checkpoint_interval=int(rel_meta["checkpoint_interval"]),
-            keep_checkpoints=int(rel_meta["keep_checkpoints"]),
-            fsync=bool(rel_meta["fsync"]),
-            faults=faults,
-            # absent from directories written before budgets existed
-            resources=ResourceConfig.from_dict(rel_meta.get("resources")),
-        )
-    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
-        raise RecoveryError(f"corrupt server-config.json in {state_dir!r}: {exc}") from exc
-
-    loaded = _load_best_checkpoint(state_dir)
-    if loaded is not None:
-        state, sidecar = loaded
-        base_lsn = int(sidecar["lsn"])
-        from_seq = int(sidecar["seq"])
-        tnow = state.tnow
-    else:
-        state = None
-        base_lsn = 0
-        from_seq = 0
-        tnow = int(meta.get("tnow0", 0))
-
-    # Construct without a live manager (replay must not re-log), restore,
-    # then replay the tail of the log.
-    server = PDRServer(
-        system_config,
-        expected_objects=expected_objects or int(meta.get("expected_objects", 1) or 1),
-        tnow=tnow,
-        reliability=dataclasses.replace(rc, state_dir=None, faults=faults),
-    )
-    if state is not None:
-        from ..storage.snapshot import restore_server_state
-
-        restore_server_state(server, state)
-
-    last_lsn = base_lsn
-    for _seq, record in _iter_wal_records(state_dir, from_seq):
-        lsn = int(record["lsn"])
-        if lsn <= base_lsn:
-            continue
-        if lsn != last_lsn + 1:
-            raise RecoveryError(
-                f"update log gap: expected lsn {last_lsn + 1}, found {lsn}"
-            )
-        server.apply_logged_record(record)
-        last_lsn = lsn
-
-    manager = ReliabilityManager.resume(state_dir, rc, lsn=last_lsn)
-    server.attach_manager(manager)
-    if audit:
         try:
-            audit_server(server)
-        except AuditError:
-            manager.close()  # don't leak the resumed WAL descriptor
-            raise
-    # The recovered server starts a fresh serving life: per-query counters
-    # and the stage-seconds accumulators describe *this* incarnation, not
-    # the one that crashed (snapshot restore may have carried them over).
-    server.query_counters.clear()
-    server.stage_seconds.clear()
-    # Bump the recovery generation and persist it alongside the config so
-    # operators can tell apart incarnations of the same state directory
-    # (reports and metrics are tagged with it).
-    generation = int(meta.get("generation", 0)) + 1
-    meta["generation"] = generation
-    _atomic_write_json(config_path, meta)
-    server.recovery_generation = generation
-    tm.RECOVERIES.inc()
-    tm.RECOVERY_GENERATION.set(generation)
-    return server
+            with open(config_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+            from ..storage.snapshot import config_from_dict
+
+            system_config = config_from_dict(meta["config"])
+            rel_meta = meta["reliability"]
+            rc = ReliabilityConfig(
+                policy=ReportPolicy(**rel_meta["policy"]),
+                dead_letter_capacity=int(rel_meta["dead_letter_capacity"]),
+                retries=int(rel_meta["retries"]),
+                backoff_seconds=float(rel_meta["backoff_seconds"]),
+                state_dir=state_dir,
+                checkpoint_interval=int(rel_meta["checkpoint_interval"]),
+                keep_checkpoints=int(rel_meta["keep_checkpoints"]),
+                fsync=bool(rel_meta["fsync"]),
+                faults=faults,
+                # absent from directories written before budgets existed
+                resources=ResourceConfig.from_dict(rel_meta.get("resources")),
+            )
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            raise RecoveryError(
+                f"corrupt server-config.json in {state_dir!r}: {exc}"
+            ) from exc
+
+        loaded = _load_best_checkpoint(state_dir)
+        if loaded is not None:
+            state, sidecar = loaded
+            base_lsn = int(sidecar["lsn"])
+            from_seq = int(sidecar["seq"])
+            tnow = state.tnow
+        else:
+            state = None
+            base_lsn = 0
+            from_seq = 0
+            tnow = int(meta.get("tnow0", 0))
+
+        # Construct without a live manager (replay must not re-log), restore,
+        # then replay the tail of the log.
+        server = PDRServer(
+            system_config,
+            expected_objects=expected_objects or int(meta.get("expected_objects", 1) or 1),
+            tnow=tnow,
+            reliability=dataclasses.replace(rc, state_dir=None, faults=faults),
+        )
+        if state is not None:
+            from ..storage.snapshot import restore_server_state
+
+            restore_server_state(server, state)
+
+        last_lsn = base_lsn
+        for _seq, record in _iter_wal_records(state_dir, from_seq):
+            lsn = int(record["lsn"])
+            if lsn <= base_lsn:
+                continue
+            if lsn != last_lsn + 1:
+                raise RecoveryError(
+                    f"update log gap: expected lsn {last_lsn + 1}, found {lsn}"
+                )
+            server.apply_logged_record(record)
+            last_lsn = lsn
+
+        manager = ReliabilityManager.resume(state_dir, rc, lsn=last_lsn)
+        server.attach_manager(manager)
+        # The replay-time config carried state_dir=None so construction
+        # would not open a second WAL; now that the resumed manager owns
+        # durability, the server's visible config tells the truth again
+        # (ReplicationGroup reads state_dir from it).
+        server.reliability = rc
+        if audit:
+            try:
+                audit_server(server)
+            except AuditError:
+                manager.close()  # don't leak the resumed WAL descriptor
+                raise
+        # The recovered server starts a fresh serving life: per-query counters
+        # and the stage-seconds accumulators describe *this* incarnation, not
+        # the one that crashed (snapshot restore may have carried them over).
+        server.query_counters.clear()
+        server.stage_seconds.clear()
+        # Bump the recovery generation and persist it alongside the config so
+        # operators can tell apart incarnations of the same state directory
+        # (reports and metrics are tagged with it).
+        generation = int(meta.get("generation", 0)) + 1
+        meta["generation"] = generation
+        _atomic_write_json(config_path, meta)
+        server.recovery_generation = generation
+        tm.RECOVERIES.inc()
+        tm.RECOVERY_GENERATION.set(generation)
+        return server
+    finally:
+        boot_lock.release()
 
 
 # ----------------------------------------------------------------------

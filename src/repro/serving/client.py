@@ -107,6 +107,7 @@ class ResilientClient:
         self._breakers: Dict[Endpoint, CircuitBreaker] = {}
         self.stats: Counter = Counter()
         self.epoch = 0
+        self.generation = 0
         self.max_acked_lsn = 0
         self.acked_reports = 0
         self.sheds_missing_retry_after = 0
@@ -193,6 +194,14 @@ class ResilientClient:
             if self.epoch != 0:
                 self.stats["epoch_changes"] += 1
             self.epoch = epoch
+        # the recovery generation moves when the *same* address comes back
+        # as a freshly recovered process — the restart signal a failover
+        # (epoch bump) never sends
+        generation = frame.get("generation")
+        if isinstance(generation, int) and generation > self.generation:
+            if self.generation != 0:
+                self.stats["generation_changes"] += 1
+            self.generation = generation
 
     def rediscover(self) -> Optional[Endpoint]:
         """Health-probe every endpoint; adopt the one that is primary."""
@@ -356,6 +365,7 @@ class ResilientClient:
         """Operator-facing counters plus the acked-write watermark."""
         out = dict(self.stats)
         out["epoch"] = self.epoch
+        out["generation"] = self.generation
         out["max_acked_lsn"] = self.max_acked_lsn
         out["acked_reports"] = self.acked_reports
         out["sheds_missing_retry_after"] = self.sheds_missing_retry_after

@@ -429,6 +429,8 @@ def build_serving_group(
     admission_rate: Optional[float] = None,
     admission_burst: Optional[float] = None,
     warmup_ticks: int = 2,
+    fsync: bool = False,
+    checkpoint_interval: int = 0,
 ):
     """A durable, warmed :class:`ReplicationGroup` for self-hosted runs.
 
@@ -462,7 +464,10 @@ def build_serving_group(
     primary = PDRServer(
         config,
         expected_objects=objects,
-        reliability=ReliabilityConfig(state_dir=state_dir, fsync=False),
+        reliability=ReliabilityConfig(
+            state_dir=state_dir, fsync=fsync,
+            checkpoint_interval=checkpoint_interval,
+        ),
     )
     domain = config.domain
     primary.report_batch([

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import os
 import socket
 import threading
 import time
@@ -173,6 +174,10 @@ class PDRTCPServer:
         server = self.backend.primary if self._is_group else self.backend
         return bool(getattr(server, "read_only", False))
 
+    def _generation(self) -> int:
+        server = self.backend.primary if self._is_group else self.backend
+        return int(getattr(server, "recovery_generation", 0) or 0)
+
     def _health_payload(self) -> dict:
         return {
             "ok": True,
@@ -182,6 +187,11 @@ class PDRTCPServer:
             "read_only": self._read_only(),
             "role": self._role(),
             "epoch": self._epoch(),
+            # which incarnation of the state directory answered: bumps on
+            # every recovery, so clients and the supervisor can observe a
+            # process restart even though the epoch never moved
+            "generation": self._generation(),
+            "pid": os.getpid(),
             "lsn": self._lsn(),
             "tnow": int(self.backend.tnow),
             "advertise": list(self.config.advertise or self.address or ()),

@@ -94,6 +94,18 @@ RECOVERY_GENERATION = _reg.gauge(
 )
 
 # ----------------------------------------------------------------------
+# process supervision (repro supervise)
+# ----------------------------------------------------------------------
+SUPERVISOR_RESTARTS = _reg.counter(
+    "repro_supervisor_restarts_total",
+    "Child server processes restarted after a crash",
+)
+SUPERVISOR_CRASH_LOOPS = _reg.counter(
+    "repro_supervisor_crash_loops_total",
+    "Supervision lineages abandoned as crash loops",
+)
+
+# ----------------------------------------------------------------------
 # replication + failover
 # ----------------------------------------------------------------------
 REPLICATION_LAG = _reg.gauge(
