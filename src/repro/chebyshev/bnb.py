@@ -95,6 +95,8 @@ def _chebyshev_interval_bounds(
     return lo, hi
 
 
+
+
 class _GridSearcher:
     """Shared state for one :func:`dense_boxes_grid` run."""
 
@@ -110,6 +112,14 @@ class _GridSearcher:
         self.jj = jj[keep]
         # (g, g, P) view of the retained coefficients.
         self.flat_coeffs = coeff_grid[:, :, self.ii, self.jj]
+        # Sign-split per-tile coefficient matrices, flattened to (g*g, P):
+        # a sound sum bound is pos @ t_lo + neg @ t_hi (lower) and its
+        # mirror (upper), which lets :meth:`bound` run as two matmuls over
+        # the deduped (tile, geometry) combinations.
+        self.g = coeff_grid.shape[0]
+        flat2d = np.ascontiguousarray(self.flat_coeffs.reshape(self.g * self.g, -1))
+        self.pos_coeffs = np.maximum(flat2d, 0.0)
+        self.neg_coeffs = np.minimum(flat2d, 0.0)
 
     def bound(
         self,
@@ -120,28 +130,59 @@ class _GridSearcher:
         y1: np.ndarray,
         y2: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Sound (lower, upper) brackets for ``M`` boxes; shapes ``(M,)``."""
-        lx, hx = _chebyshev_interval_bounds(self.k, x1, x2)  # (k+1, M)
-        ly, hy = _chebyshev_interval_bounds(self.k, y1, y2)
-        lxp, hxp = lx[self.ii], hx[self.ii]  # (P, M)
-        lyp, hyp = ly[self.jj], hy[self.jj]
+        """Sound (lower, upper) brackets for ``M`` boxes; shapes ``(M,)``.
+
+        The level-synchronous frontier is dyadic: thousands of boxes share a
+        handful of distinct normalized intervals per level (the same
+        subdivision pattern repeats across tiles), so the trig and the
+        interval products run once per *distinct* box geometry, and the
+        coefficient contraction runs as two BLAS matmuls over the distinct
+        (tile, geometry) pairs — never once per box.
+        """
+        ux, inv_x = np.unique(x1 + 1j * x2, return_inverse=True)
+        uy, inv_y = np.unique(y1 + 1j * y2, return_inverse=True)
+        lx, hx = _chebyshev_interval_bounds(self.k, ux.real, ux.imag)
+        ly, hy = _chebyshev_interval_bounds(self.k, uy.real, uy.imag)
+        code = inv_x * uy.size + inv_y
+        ucode, geo = np.unique(code, return_inverse=True)
+        gx = ucode // uy.size
+        gy = ucode % uy.size
+        lxp, hxp = lx[self.ii][:, gx], hx[self.ii][:, gx]  # (P, U)
+        lyp, hyp = ly[self.jj][:, gy], hy[self.jj][:, gy]
         p1 = lxp * lyp
         p2 = lxp * hyp
         p3 = hxp * lyp
         p4 = hxp * hyp
         t_lo = np.minimum(np.minimum(p1, p2), np.minimum(p3, p4))
         t_hi = np.maximum(np.maximum(p1, p2), np.maximum(p3, p4))
-        a = self.flat_coeffs[ti, tj].T  # (P, M)
-        pos = a >= 0
-        term_lo = np.where(pos, a * t_lo, a * t_hi)
-        term_hi = np.where(pos, a * t_hi, a * t_lo)
-        return term_lo.sum(axis=0), term_hi.sum(axis=0)
+        tcode = ti * self.g + tj
+        utile, inv_t = np.unique(tcode, return_inverse=True)
+        if utile.size * ucode.size <= 8 * ti.size:
+            # Dense regime (most levels): bound every (tile, geometry)
+            # combination by matmul, then gather each box's entry.
+            pos = self.pos_coeffs[utile]  # (T, P)
+            neg = self.neg_coeffs[utile]
+            lo_combo = pos @ t_lo + neg @ t_hi  # (T, U)
+            hi_combo = pos @ t_hi + neg @ t_lo
+            return lo_combo[inv_t, geo], hi_combo[inv_t, geo]
+        # Sparse regime (nearly every box has a private geometry): expand
+        # the deduped products back per box and contract elementwise.
+        t_lo_b, t_hi_b = t_lo[:, geo], t_hi[:, geo]  # (P, M)
+        pos = self.pos_coeffs[tcode].T  # (P, M)
+        neg = self.neg_coeffs[tcode].T
+        return (
+            (pos * t_lo_b + neg * t_hi_b).sum(axis=0),
+            (pos * t_hi_b + neg * t_lo_b).sum(axis=0),
+        )
 
     def evaluate_centers(
         self, ti: np.ndarray, tj: np.ndarray, cx: np.ndarray, cy: np.ndarray
     ) -> np.ndarray:
-        tx = chebyshev_values(self.k, cx)  # (k+1, M)
-        ty = chebyshev_values(self.k, cy)
+        # Leaf centres are dyadic too — evaluate each distinct ordinate once.
+        ux, inv_x = np.unique(cx, return_inverse=True)
+        uy, inv_y = np.unique(cy, return_inverse=True)
+        tx = chebyshev_values(self.k, ux)[:, inv_x]  # (k+1, M)
+        ty = chebyshev_values(self.k, uy)[:, inv_y]
         a = self.flat_coeffs[ti, tj].T  # (P, M)
         return (a * tx[self.ii] * ty[self.jj]).sum(axis=0)
 

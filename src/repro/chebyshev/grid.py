@@ -12,7 +12,7 @@ extraction in world coordinates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -212,7 +212,8 @@ class ChebSurface:
         wy1 = ty1 + (totals.boxes[:, 1] + 1.0) / 2.0 * ch
         wx2 = tx1 + (totals.boxes[:, 2] + 1.0) / 2.0 * cw
         wy2 = ty1 + (totals.boxes[:, 3] + 1.0) / 2.0 * ch
-        rects: List[Rect] = [
-            Rect(x1, y1, x2, y2) for x1, y1, x2, y2 in zip(wx1, wy1, wx2, wy2)
-        ]
-        return RegionSet(rects), totals
+        # B&B emissions partition the dense area (siblings tile their
+        # parent, tiles tile the domain), so the set is disjoint by
+        # construction and downstream area() is a plain sum.
+        bounds = np.stack([wx1, wy1, wx2, wy2], axis=1)
+        return RegionSet.from_bounds(bounds, disjoint=True), totals

@@ -13,6 +13,13 @@ under the requested boolean combination.  This is exact for half-open
 rectangles because region membership is constant within each grid cell.  The
 rasterisation is chunked along the x axis so that the transient boolean
 matrices stay within a fixed memory budget regardless of input size.
+
+Storage is columnar: a set holds one ``(N, 4)`` float array of bounds and
+materialises :class:`Rect` objects only when a caller actually iterates.
+Query evaluators that emit their rectangles pairwise-disjoint by
+construction (FR's sweep segments, PA's branch-and-bound tiling) pass
+``disjoint=True`` so :meth:`area` reduces to a single vector sum instead of
+a rasterisation — the answer-area accounting on the serving path is O(N).
 """
 
 from __future__ import annotations
@@ -30,19 +37,37 @@ __all__ = ["RegionSet"]
 # area computation.  48M cells * 2 operands * 1 byte ~ 100 MB worst case.
 _MAX_CELLS_PER_CHUNK = 48_000_000
 
+_EMPTY_BOUNDS = np.empty((0, 4), dtype=float)
+
+
+def _edges_of(bounds: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct sorted x and y edge coordinates of a bounds array."""
+    if bounds.shape[0] == 0:
+        return np.empty(0), np.empty(0)
+    xs = np.unique(bounds[:, (0, 2)])
+    ys = np.unique(bounds[:, (1, 3)])
+    return xs, ys
+
 
 def _edges(rects: Sequence[Rect]) -> Tuple[np.ndarray, np.ndarray]:
     """Distinct sorted x and y edge coordinates of ``rects``."""
-    if not rects:
-        return np.empty(0), np.empty(0)
-    xs = np.empty(2 * len(rects))
-    ys = np.empty(2 * len(rects))
-    for i, r in enumerate(rects):
-        xs[2 * i] = r.x1
-        xs[2 * i + 1] = r.x2
-        ys[2 * i] = r.y1
-        ys[2 * i + 1] = r.y2
-    return np.unique(xs), np.unique(ys)
+    return _edges_of(_bounds_from_rects(rects))
+
+
+def _bounds_from_rects(rects: Iterable[Rect]) -> np.ndarray:
+    rows = [(r.x1, r.y1, r.x2, r.y2) for r in rects]
+    if not rows:
+        return _EMPTY_BOUNDS
+    return np.asarray(rows, dtype=float)
+
+
+def _drop_empty(bounds: np.ndarray) -> np.ndarray:
+    if bounds.shape[0] == 0:
+        return _EMPTY_BOUNDS
+    keep = (bounds[:, 0] < bounds[:, 2]) & (bounds[:, 1] < bounds[:, 3])
+    if keep.all():
+        return bounds
+    return bounds[keep]
 
 
 class RegionSet:
@@ -51,68 +76,156 @@ class RegionSet:
     The constructor drops empty rectangles but performs no other
     normalisation; rectangles may overlap.  All *measures* (area,
     intersection area, ...) treat the set as the union of its members.
+
+    ``disjoint=True`` asserts that the member rectangles are pairwise
+    disjoint point sets — the caller's responsibility — unlocking the O(N)
+    :meth:`area` fast path.  Every measure involving a *second* operand
+    still rasterises.
     """
 
-    __slots__ = ("_rects",)
+    __slots__ = ("_bounds", "_rect_cache", "_disjoint")
 
-    def __init__(self, rects: Iterable[Rect] = ()) -> None:
-        self._rects: Tuple[Rect, ...] = tuple(r for r in rects if not r.is_empty())
+    def __init__(self, rects: Iterable[Rect] = (), disjoint: bool = False) -> None:
+        self._bounds = _drop_empty(_bounds_from_rects(rects))
+        self._rect_cache: Optional[Tuple[Rect, ...]] = None
+        self._disjoint = disjoint
+
+    @classmethod
+    def from_bounds(cls, bounds: np.ndarray, disjoint: bool = False) -> "RegionSet":
+        """Build a set straight from an ``(N, 4)`` bounds array (no Rects).
+
+        Empty rows are dropped, matching the constructor.  The array is
+        copied into float64 layout unless it already complies.
+        """
+        out = cls.__new__(cls)
+        arr = np.ascontiguousarray(np.asarray(bounds, dtype=float))
+        if arr.ndim != 2 or arr.shape[1] != 4:
+            raise GeometryError(f"bounds must be (N, 4), got shape {arr.shape}")
+        if arr.shape[0] and bool((arr[:, 0] > arr[:, 2]).any() or (arr[:, 1] > arr[:, 3]).any()):
+            raise GeometryError("inverted rectangle bounds in array")
+        out._bounds = _drop_empty(arr)
+        out._rect_cache = None
+        out._disjoint = disjoint
+        return out
 
     # ------------------------------------------------------------------
     # container protocol
     # ------------------------------------------------------------------
     @property
+    def bounds(self) -> np.ndarray:
+        """The ``(N, 4)`` float array of ``(x1, y1, x2, y2)`` rows (read-only)."""
+        return self._bounds
+
+    @property
     def rects(self) -> Tuple[Rect, ...]:
-        return self._rects
+        if self._rect_cache is None:
+            self._rect_cache = tuple(
+                Rect(row[0], row[1], row[2], row[3]) for row in self._bounds
+            )
+        return self._rect_cache
 
     def __len__(self) -> int:
-        return len(self._rects)
+        return self._bounds.shape[0]
 
     def __iter__(self) -> Iterator[Rect]:
-        return iter(self._rects)
+        return iter(self.rects)
 
     def __bool__(self) -> bool:
-        return bool(self._rects)
+        return self._bounds.shape[0] > 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RegionSet({len(self._rects)} rects, area={self.area():.6g})"
+        return f"RegionSet({len(self)} rects, area={self.area():.6g})"
 
     def is_empty(self) -> bool:
-        return not self._rects
+        return self._bounds.shape[0] == 0
 
     # ------------------------------------------------------------------
     # constructions
     # ------------------------------------------------------------------
     def union(self, other: "RegionSet") -> "RegionSet":
         """Set union (concatenation; measures already treat members as a union)."""
-        return RegionSet(self._rects + other._rects)
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return RegionSet.from_bounds(
+            np.concatenate([self._bounds, other._bounds], axis=0)
+        )
 
     def translated(self, dx: float, dy: float) -> "RegionSet":
-        return RegionSet(r.translated(dx, dy) for r in self._rects)
+        if self.is_empty():
+            return self
+        return RegionSet.from_bounds(
+            self._bounds + np.array([dx, dy, dx, dy]), disjoint=self._disjoint
+        )
 
     def clipped_to(self, box: Rect) -> "RegionSet":
-        return RegionSet(r.intersection(box) for r in self._rects)
+        if self.is_empty():
+            return self
+        b = self._bounds
+        clipped = np.empty_like(b)
+        clipped[:, 0] = np.maximum(b[:, 0], box.x1)
+        clipped[:, 1] = np.maximum(b[:, 1], box.y1)
+        clipped[:, 2] = np.minimum(b[:, 2], box.x2)
+        clipped[:, 3] = np.minimum(b[:, 3], box.y2)
+        keep = (clipped[:, 0] < clipped[:, 2]) & (clipped[:, 1] < clipped[:, 3])
+        return RegionSet.from_bounds(clipped[keep], disjoint=self._disjoint)
 
     def bounding_box(self) -> Optional[Rect]:
-        if not self._rects:
+        if self.is_empty():
             return None
-        return Rect.bounding(self._rects)
+        b = self._bounds
+        return Rect(
+            float(b[:, 0].min()),
+            float(b[:, 1].min()),
+            float(b[:, 2].max()),
+            float(b[:, 3].max()),
+        )
 
     # ------------------------------------------------------------------
     # predicates
     # ------------------------------------------------------------------
     def contains_point(self, x: float, y: float) -> bool:
         """Half-open membership in the union."""
-        return any(r.contains_point(x, y) for r in self._rects)
+        b = self._bounds
+        if b.shape[0] == 0:
+            return False
+        return bool(
+            (
+                (b[:, 0] <= x)
+                & (x < b[:, 2])
+                & (b[:, 1] <= y)
+                & (y < b[:, 3])
+            ).any()
+        )
 
     def intersects_rect(self, rect: Rect) -> bool:
-        return any(r.intersects(rect) for r in self._rects)
+        b = self._bounds
+        if b.shape[0] == 0 or rect.is_empty():
+            return False
+        return bool(
+            (
+                (b[:, 0] < rect.x2)
+                & (rect.x1 < b[:, 2])
+                & (b[:, 1] < rect.y2)
+                & (rect.y1 < b[:, 3])
+            ).any()
+        )
 
     # ------------------------------------------------------------------
     # measures
     # ------------------------------------------------------------------
     def area(self) -> float:
-        """Exact area of the union of member rectangles."""
+        """Exact area of the union of member rectangles.
+
+        Pairwise-disjoint sets (``disjoint=True`` at construction) sum the
+        member areas directly; overlapping sets rasterise.
+        """
+        if self._disjoint:
+            b = self._bounds
+            if b.shape[0] == 0:
+                return 0.0
+            return float(((b[:, 2] - b[:, 0]) * (b[:, 3] - b[:, 1])).sum())
         return self._combine_area(self, RegionSet(), "a")
 
     def intersection_area(self, other: "RegionSet") -> float:
@@ -157,10 +270,10 @@ class RegionSet:
         runs merged vertically (a simple greedy rectangle cover).  Useful for
         rendering and for deterministic comparisons; measures never need it.
         """
-        if not self._rects:
+        if self.is_empty():
             return RegionSet()
-        xs, ys = _edges(self._rects)
-        mask = self._rasterize(self._rects, xs, ys)
+        xs, ys = _edges_of(self._bounds)
+        mask = self._raster_bounds(self._bounds, xs, ys)
         out: List[Rect] = []
         # Greedy: grow maximal rectangles row-by-row.
         live: dict = {}  # (ix1, ix2) -> iy_start for runs still growing
@@ -185,32 +298,55 @@ class RegionSet:
             for k in row_runs:
                 if k not in live:
                     live[k] = iy
-        return RegionSet(out)
+        return RegionSet(out, disjoint=True)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     @staticmethod
+    def _raster_bounds(
+        bounds: np.ndarray, xs: np.ndarray, ys: np.ndarray
+    ) -> np.ndarray:
+        """Boolean occupancy of ``bounds`` over the compressed grid (xs, ys).
+
+        Every rectangle's index span is scattered into a 2-D difference
+        array in one ``np.add.at`` pass; the double cumulative sum then
+        yields the per-cell cover count, whose nonzero cells are exactly
+        the cells the old per-rectangle slice-assignment loop set.
+        """
+        nx, ny = max(len(xs) - 1, 0), max(len(ys) - 1, 0)
+        if nx == 0 or ny == 0:
+            return np.zeros((nx, ny), dtype=bool)
+        if bounds.shape[0] == 0:
+            return np.zeros((nx, ny), dtype=bool)
+        ix1 = np.searchsorted(xs, bounds[:, 0])
+        ix2 = np.searchsorted(xs, bounds[:, 2])
+        iy1 = np.searchsorted(ys, bounds[:, 1])
+        iy2 = np.searchsorted(ys, bounds[:, 3])
+        acc = np.zeros((nx + 1, ny + 1), dtype=np.int32)
+        np.add.at(acc, (ix1, iy1), 1)
+        np.add.at(acc, (ix2, iy1), -1)
+        np.add.at(acc, (ix1, iy2), -1)
+        np.add.at(acc, (ix2, iy2), 1)
+        counts = acc.cumsum(axis=0).cumsum(axis=1)
+        return counts[:nx, :ny] > 0
+
+    @staticmethod
     def _rasterize(rects: Sequence[Rect], xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         """Boolean occupancy of ``rects`` over the compressed grid (xs, ys)."""
-        mask = np.zeros((max(len(xs) - 1, 0), max(len(ys) - 1, 0)), dtype=bool)
-        if mask.size == 0:
-            return mask
-        for r in rects:
-            ix1 = int(np.searchsorted(xs, r.x1))
-            ix2 = int(np.searchsorted(xs, r.x2))
-            iy1 = int(np.searchsorted(ys, r.y1))
-            iy2 = int(np.searchsorted(ys, r.y2))
-            mask[ix1:ix2, iy1:iy2] = True
-        return mask
+        return RegionSet._raster_bounds(_bounds_from_rects(rects), xs, ys)
 
     @staticmethod
     def _combine_area(a: "RegionSet", b: "RegionSet", op: str) -> float:
         """Area of a boolean combination of two rectangle unions."""
-        rects_all = a._rects + b._rects
-        if not rects_all:
+        bounds_a = a._bounds
+        bounds_b = b._bounds
+        if bounds_a.shape[0] == 0 and bounds_b.shape[0] == 0:
             return 0.0
-        xs, ys = _edges(rects_all)
+        if bounds_a.shape[0] and bounds_b.shape[0]:
+            xs, ys = _edges_of(np.concatenate([bounds_a, bounds_b], axis=0))
+        else:
+            xs, ys = _edges_of(bounds_a if bounds_a.shape[0] else bounds_b)
         nx, ny = len(xs) - 1, len(ys) - 1
         if nx <= 0 or ny <= 0:
             return 0.0
@@ -222,13 +358,11 @@ class RegionSet:
             x1 = min(nx, x0 + rows_per_chunk)
             sub_xs = xs[x0 : x1 + 1]
             lo, hi = sub_xs[0], sub_xs[-1]
-            sub_a = [r for r in a._rects if r.x1 < hi and r.x2 > lo]
-            sub_b = [r for r in b._rects if r.x1 < hi and r.x2 > lo]
-            mask_a = RegionSet._clipped_raster(sub_a, sub_xs, ys)
+            mask_a = RegionSet._clipped_raster_bounds(bounds_a, sub_xs, ys, lo, hi)
             if op == "a":
                 combined = mask_a
             else:
-                mask_b = RegionSet._clipped_raster(sub_b, sub_xs, ys)
+                mask_b = RegionSet._clipped_raster_bounds(bounds_b, sub_xs, ys, lo, hi)
                 if op == "and":
                     combined = mask_a & mask_b
                 elif op == "or":
@@ -244,18 +378,26 @@ class RegionSet:
         return total
 
     @staticmethod
-    def _clipped_raster(rects: Sequence[Rect], xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    def _clipped_raster_bounds(
+        bounds: np.ndarray, xs: np.ndarray, ys: np.ndarray, lo: float, hi: float
+    ) -> np.ndarray:
+        """Rasterise bounds clipped to the x-range covered by ``xs``."""
+        if bounds.shape[0] == 0:
+            return np.zeros((len(xs) - 1, len(ys) - 1), dtype=bool)
+        keep = (bounds[:, 0] < hi) & (bounds[:, 2] > lo)
+        if not keep.any():
+            return np.zeros((len(xs) - 1, len(ys) - 1), dtype=bool)
+        sub = bounds[keep]
+        clipped = sub.copy()
+        clipped[:, 0] = np.maximum(sub[:, 0], lo)
+        clipped[:, 2] = np.minimum(sub[:, 2], hi)
+        return RegionSet._raster_bounds(clipped, xs, ys)
+
+    @staticmethod
+    def _clipped_raster(
+        rects: Sequence[Rect], xs: np.ndarray, ys: np.ndarray
+    ) -> np.ndarray:
         """Rasterise rects clipped to the x-range covered by ``xs``."""
-        mask = np.zeros((len(xs) - 1, len(ys) - 1), dtype=bool)
-        lo, hi = xs[0], xs[-1]
-        for r in rects:
-            rx1 = max(r.x1, lo)
-            rx2 = min(r.x2, hi)
-            if rx2 <= rx1:
-                continue
-            ix1 = int(np.searchsorted(xs, rx1))
-            ix2 = int(np.searchsorted(xs, rx2))
-            iy1 = int(np.searchsorted(ys, r.y1))
-            iy2 = int(np.searchsorted(ys, r.y2))
-            mask[ix1:ix2, iy1:iy2] = True
-        return mask
+        return RegionSet._clipped_raster_bounds(
+            _bounds_from_rects(rects), xs, ys, float(xs[0]), float(xs[-1])
+        )

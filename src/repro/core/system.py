@@ -617,7 +617,7 @@ class PDRServer:
         traced = span is not NOOP_SPAN
         totals = span.stage_totals() if traced else {}
         served = result.stats.method
-        for stage in ("filter", "fetch", "sweep"):
+        for stage in ("filter", "fuse", "fetch", "sweep", "merge"):
             seconds = (
                 totals.get(stage, 0.0)
                 if traced
@@ -717,7 +717,7 @@ class PDRServer:
             "wal_lsn": self.wal_lsn,
             "query_stage_seconds": {
                 stage: self.stage_seconds[stage]
-                for stage in ("filter", "fetch", "sweep")
+                for stage in ("filter", "fuse", "fetch", "sweep", "merge")
             },
             "query_cache_hits": self.query_counters["cache_hits"],
             "query_cache_misses": self.query_counters["cache_misses"],

@@ -22,7 +22,7 @@ Implementation notes
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +70,13 @@ class TPRTree(UpdateListener):
         self._min_fill_internal = max(2, self._internal_fanout * 2 // 5)
         self._next_page = 0
         self._leaf_of: Dict[int, Node] = {}
+        # Structure epoch: bumped on any mutation of contents or shape.
+        # Batched traversal caches per-node column arrays keyed by page id
+        # and drops them wholesale when the epoch moves; result-reuse caches
+        # upstream key on the epoch as well.
+        self._epoch = 0
+        self._node_cols: Dict[int, tuple] = {}
+        self._node_cols_epoch = -1
         self.root = self._new_node(level=0)
 
     # ------------------------------------------------------------------
@@ -151,12 +158,18 @@ class TPRTree(UpdateListener):
     def node_count(self) -> int:
         return sum(1 for _ in self.root.subtree_nodes())
 
+    @property
+    def epoch(self) -> int:
+        """Monotone counter identifying the current tree contents/shape."""
+        return self._epoch
+
     def insert(self, motion: Motion) -> None:
         """Insert a motion; the object id must not already be present."""
         if motion.oid in self._leaf_of:
             raise IndexError_(
                 f"object {motion.oid} already indexed; delete its old motion first"
             )
+        self._epoch += 1
         leaf = self._choose_leaf(motion)
         leaf.add(motion)
         self._leaf_of[motion.oid] = leaf
@@ -169,6 +182,7 @@ class TPRTree(UpdateListener):
         leaf = self._leaf_of.pop(motion.oid, None)
         if leaf is None:
             raise IndexError_(f"object {motion.oid} is not indexed")
+        self._epoch += 1
         for i, entry in enumerate(leaf.entries):
             if entry.oid == motion.oid:
                 leaf.entries.pop(i)
@@ -204,6 +218,157 @@ class TPRTree(UpdateListener):
                     if child.bound.intersects_rect_at(rect, qt):
                         stack.append(child)
         return results
+
+    def range_positions_batch(
+        self, rects: Sequence[Rect], qts, charge_io: bool = True
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batched :meth:`range_query` returning position arrays per rect.
+
+        ``qts`` is a scalar timestamp or one timestamp per rect.  All rects
+        are answered in a single shared traversal: each visited page is
+        touched (and charged) once for the whole batch, and every node
+        carries the subset of rects whose query window still intersects its
+        bound — per-rect membership masks instead of N independent walks.
+
+        Per-rect results are identical to ``range_query(rect, qt)``, in the
+        same visit order: a stack DFS restricted to the subset of nodes one
+        rect intersects visits them in the same order as that rect's own
+        stack DFS (same child push order), and the leaf containment test is
+        the same closed comparison on elementwise-identical extrapolated
+        positions.
+        """
+        return self._batch_traverse(rects, qts, charge_io, want_motions=False)
+
+    def range_query_batch(
+        self, rects: Sequence[Rect], qts, charge_io: bool = True
+    ) -> List[List[Motion]]:
+        """Batched :meth:`range_query` returning motion lists per rect."""
+        return self._batch_traverse(rects, qts, charge_io, want_motions=True)
+
+    def _batch_traverse(
+        self, rects: Sequence[Rect], qts, charge_io: bool, want_motions: bool
+    ):
+        n_rects = len(rects)
+        if n_rects == 0:
+            return []
+        qts_arr = np.broadcast_to(np.asarray(qts, dtype=float), (n_rects,))
+        if float(qts_arr.min()) < self._tnow:
+            raise IndexError_(
+                f"TPR-tree bounds are only valid for t >= {self._tnow}, "
+                f"got {float(qts_arr.min())}"
+            )
+        rb = np.array([(r.x1, r.y1, r.x2, r.y2) for r in rects], dtype=float)
+        if want_motions:
+            out: List[list] = [[] for _ in range(n_rects)]
+        else:
+            out = [[] for _ in range(n_rects)]
+        stack: List[tuple] = [(self.root, np.arange(n_rects))]
+        while stack:
+            node, active = stack.pop()
+            self._touch(node, charge_io)
+            if node.is_leaf:
+                if not node.entries:
+                    continue
+                x0, y0, vx, vy, t_ref = self._leaf_cols(node)
+                for qt in np.unique(qts_arr[active]):
+                    sel = active[qts_arr[active] == qt]
+                    dt = qt - t_ref
+                    px = x0 + dt * vx
+                    py = y0 + dt * vy
+                    # Closed containment, one broadcast per (leaf, timestamp).
+                    inside = (
+                        (rb[sel, 0][:, None] <= px[None, :])
+                        & (px[None, :] <= rb[sel, 2][:, None])
+                        & (rb[sel, 1][:, None] <= py[None, :])
+                        & (py[None, :] <= rb[sel, 3][:, None])
+                    )
+                    for row, r in enumerate(sel):
+                        idx = np.flatnonzero(inside[row])
+                        if idx.size == 0:
+                            continue
+                        if want_motions:
+                            entries = node.entries
+                            out[r].extend(entries[i] for i in idx)
+                        else:
+                            out[r].append((px[idx], py[idx]))
+            else:
+                bx1, by1, bx2, by2, bvx1, bvy1, bvx2, bvy2, bt = self._child_cols(
+                    node
+                )
+                dt = qts_arr[active][None, :] - bt[:, None]
+                x_lo = bx1[:, None] + bvx1[:, None] * dt
+                x_hi = bx2[:, None] + bvx2[:, None] * dt
+                y_lo = by1[:, None] + bvy1[:, None] * dt
+                y_hi = by2[:, None] + bvy2[:, None] * dt
+                overlap = ~(
+                    (x_hi < rb[active, 0][None, :])
+                    | (rb[active, 2][None, :] < x_lo)
+                    | (y_hi < rb[active, 1][None, :])
+                    | (rb[active, 3][None, :] < y_lo)
+                )
+                for c, child in enumerate(node.entries):
+                    sub = active[overlap[c]]
+                    if sub.size:
+                        stack.append((child, sub))
+        if want_motions:
+            return out
+        merged: List[Tuple[np.ndarray, np.ndarray]] = []
+        for parts in out:
+            if parts:
+                merged.append(
+                    (
+                        np.concatenate([p[0] for p in parts]),
+                        np.concatenate([p[1] for p in parts]),
+                    )
+                )
+            else:
+                merged.append(
+                    (np.empty(0, dtype=float), np.empty(0, dtype=float))
+                )
+        return merged
+
+    def _cols_cache(self) -> Dict[int, tuple]:
+        if self._node_cols_epoch != self._epoch:
+            self._node_cols = {}
+            self._node_cols_epoch = self._epoch
+        return self._node_cols
+
+    def _leaf_cols(self, node: Node) -> tuple:
+        """Column arrays (x, y, vx, vy, t_ref) of a leaf's entries, cached
+        per structure epoch."""
+        cache = self._cols_cache()
+        cols = cache.get(node.page_id)
+        if cols is None:
+            entries = node.entries
+            cols = (
+                np.array([m.x for m in entries], dtype=float),
+                np.array([m.y for m in entries], dtype=float),
+                np.array([m.vx for m in entries], dtype=float),
+                np.array([m.vy for m in entries], dtype=float),
+                np.array([m.t_ref for m in entries], dtype=float),
+            )
+            cache[node.page_id] = cols
+        return cols
+
+    def _child_cols(self, node: Node) -> tuple:
+        """Column arrays of an internal node's child TPBRs, cached per epoch."""
+        cache = self._cols_cache()
+        cols = cache.get(node.page_id)
+        if cols is None:
+            bounds = [c.bound for c in node.entries]
+            cols = (
+                np.array([b.x1 for b in bounds], dtype=float),
+                np.array([b.y1 for b in bounds], dtype=float),
+                np.array([b.x2 for b in bounds], dtype=float),
+                np.array([b.y2 for b in bounds], dtype=float),
+                np.array([b.vx1 for b in bounds], dtype=float),
+                np.array([b.vy1 for b in bounds], dtype=float),
+                np.array([b.vx2 for b in bounds], dtype=float),
+                np.array([b.vy2 for b in bounds], dtype=float),
+                np.array([b.t_ref for b in bounds], dtype=float),
+            )
+            cache[node.page_id] = cols
+        return cols
 
     def all_motions(self) -> List[Motion]:
         return list(self.root.iter_subtree_motions())
@@ -282,6 +447,7 @@ class TPRTree(UpdateListener):
         holds by construction.  All previous pages are invalidated — a
         rebuild rewrites the file in the simulated-I/O model.
         """
+        self._epoch += 1
         if self.buffer is not None:
             for node in self.root.subtree_nodes():
                 self.buffer.invalidate(node.page_id)

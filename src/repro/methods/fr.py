@@ -5,18 +5,47 @@ Evaluation proceeds in two steps:
 1. **Filter** (Algorithm 1): classify every histogram cell as accepted
    (provably dense in full), rejected (provably nowhere dense) or candidate,
    using the conservative/expansive neighborhood counts.
-2. **Refine** (Algorithms 2-3): for each candidate cell, fetch the objects in
-   the cell's ``l/2`` expansion with a timestamped range query on the
-   TPR-tree (paying simulated I/O through the buffer pool), then plane-sweep
-   them into the exact dense sub-rectangles.
+2. **Refine** (Algorithms 2-3): fetch the objects that can influence the
+   candidate cells with timestamped range queries on the TPR-tree (paying
+   simulated I/O through the buffer pool), then plane-sweep them into the
+   exact dense sub-rectangles.
 
 The union of accepted cells and refined rectangles is the exact PDR answer.
+
+Refinement pipeline (the default, ``batch_candidates=True``): candidate
+cells are fused into per-row **bands** of maximal strips, all band
+rectangles are fetched in one shared TPR traversal
+(:meth:`~repro.index.tree.TPRTree.range_positions_batch`), and the fused
+bands are swept by the vectorised kernel in
+:mod:`repro.sweep.band_sweep` — optionally fanned across a process pool
+(``REPRO_REFINE_WORKERS``; band tasks are picklable snapshot arrays).  The
+emitted rectangles are bit-identical to refining each strip sequentially
+with :func:`~repro.sweep.plane_sweep.refine_cell` (see the kernel module
+docstring for the argument, and ``tests/test_perf_paths.py`` for the
+property suite).  The legacy one-range-query-per-cell path is kept as the
+equivalence oracle; opt back into it with ``batch_candidates=False``
+(deprecated) or ``REPRO_FR_PER_CELL=1``.
+
+Result reuse: per-band maximum active counts are cached per
+``(tree epoch, histogram epoch, qt, l)``.  A later query over the same
+snapshot with a *higher* density threshold skips — without fetching or
+sweeping — every band whose strips are covered by the cached strips and
+whose cached maximum is below the new threshold (no l-square centred in the
+band can ever hold more objects than the band's maximum active count; this
+is the ρ-monotonic containment rule).
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
-from typing import List
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.errors import InvalidParameterError
 from ..core.geometry import Rect
@@ -25,10 +54,49 @@ from ..core.regions import RegionSet
 from ..histogram.density_histogram import DensityHistogram
 from ..histogram.filter import filter_query
 from ..index.tree import TPRTree
-from ..sweep.plane_sweep import refine_cell
+from ..sweep.band_sweep import (
+    BandTask,
+    merge_band_results,
+    refine_bands,
+    _refine_bands_worker,
+)
+from ..sweep.plane_sweep import _THRESHOLD_EPS, refine_cell
 from ..telemetry import TELEMETRY
+from ..telemetry import instruments as tm
 
 __all__ = ["FRMethod"]
+
+# Keep this many (tree epoch, histogram epoch, qt, l) snapshot keys of
+# per-band maxima around for the ρ-monotonic skip rule.
+_BAND_CACHE_KEYS = 8
+
+# Process pool shared by every FRMethod in the process; sized lazily to the
+# last requested worker count (queries are read-only, so one pool serves all
+# instances).
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _refine_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WORKERS != workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False)
+            # Spawned workers import the package fresh: no inherited locks
+            # from the (possibly threaded) serving process.
+            import multiprocessing
+
+            _POOL = ProcessPoolExecutor(
+                max_workers=workers, mp_context=multiprocessing.get_context("spawn")
+            )
+            _POOL_WORKERS = workers
+        return _POOL
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 
 
 class FRMethod:
@@ -36,52 +104,332 @@ class FRMethod:
 
     ``tree`` may be any index exposing ``range_query(rect, qt)`` and a
     ``buffer`` attribute — the TPR-tree by default, the B^x-tree as the
-    drop-in alternative.
+    drop-in alternative.  The band-fused fast path additionally uses
+    ``range_positions_batch`` when the index provides it and falls back to
+    per-strip ``range_query`` calls otherwise.
 
-    ``batch_candidates`` is an optimisation *beyond the paper*: instead of
-    one range query per candidate cell (Section 5.3), adjacent candidate
-    cells are coalesced into maximal row strips, each refined with a single
-    range query and one wider plane-sweep.  The answer is identical (the
-    sweep is exact on any rectangle); only the I/O pattern changes — see
-    the refinement-batching ablation benchmark.
+    ``batch_candidates`` selects the refinement pipeline: ``True`` (the
+    default) fuses candidate cells into per-row strips refined by the
+    vectorised band kernel; ``False`` is the deprecated per-cell loop of
+    Section 5.3, kept as the bit-exactness oracle.  The answer is identical
+    (the sweep is exact on any rectangle); only the decomposition and the
+    I/O pattern change — see the refinement-batching ablation benchmark.
+
+    ``refine_workers`` fans band sweeps across a process pool (0 = inline;
+    defaults to ``REPRO_REFINE_WORKERS``).
     """
 
     def __init__(
         self,
         histogram: DensityHistogram,
         tree: TPRTree,
-        batch_candidates: bool = False,
+        batch_candidates: Optional[bool] = None,
         faults=None,
+        refine_workers: Optional[int] = None,
     ) -> None:
         if histogram is None or tree is None:
             raise InvalidParameterError("FR needs both a histogram and an index")
         self.histogram = histogram
         self.tree = tree
+        if batch_candidates is None:
+            batch_candidates = not _env_flag("REPRO_FR_PER_CELL")
+        elif not batch_candidates:
+            warnings.warn(
+                "batch_candidates=False (per-cell refinement) is deprecated and "
+                "kept only as the band-fusion equivalence oracle; it will lose "
+                "its public switch once the oracle suite pins the kernel",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.batch_candidates = batch_candidates
+        if refine_workers is None:
+            try:
+                refine_workers = int(os.environ.get("REPRO_REFINE_WORKERS", "0"))
+            except ValueError:
+                refine_workers = 0
+        self.refine_workers = max(0, refine_workers)
         self.faults = faults
+        # (tree epoch, histogram epoch, qt, l) -> {row j: (x1s, x2s, max_active)}
+        self._band_cache: "OrderedDict[tuple, Dict[int, tuple]]" = OrderedDict()
+        self._band_cache_lock = threading.Lock()
 
+    # ------------------------------------------------------------------
+    # band planning
+    # ------------------------------------------------------------------
     def _candidate_rects(self, filtered) -> List[Rect]:
         """Candidate regions to refine: single cells, or coalesced strips."""
         if not self.batch_candidates:
             return [
                 self.histogram.cell_rect(i, j) for (i, j) in filtered.candidate_cells()
             ]
-        from ..core.regions import RegionSet
-
         cells = RegionSet(
             self.histogram.cell_rect(i, j) for (i, j) in filtered.candidate_cells()
         )
         return list(cells.normalized())
 
+    def _plan_rows(self, candidate: np.ndarray) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+        """Fuse a candidate mask into per-row strips.
+
+        Returns ``(row j, strips_x1, strips_x2)`` for every row with at
+        least one candidate cell; strips are the maximal runs of adjacent
+        candidate columns, with world extents matching
+        :meth:`DensityHistogram.cell_rect` bit for bit.
+        """
+        hist = self.histogram
+        lx = hist.cell_edge
+        ly = hist.cell_edge_y
+        x0 = hist.domain.x1
+        y0 = hist.domain.y1
+        out: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        # candidate is indexed [i, j] = (column, row).
+        for j in np.flatnonzero(candidate.any(axis=0)):
+            cols = np.flatnonzero(candidate[:, j])
+            breaks = np.flatnonzero(np.diff(cols) > 1)
+            run_starts = cols[np.concatenate([[0], breaks + 1])]
+            run_ends = cols[np.concatenate([breaks, [cols.size - 1]])]
+            # Same float expressions as cell_rect: x1 = x0 + i*lx, x2 = x1 + lx.
+            x1s = x0 + run_starts * lx
+            x2s = (x0 + run_ends * lx) + lx
+            out.append((int(j), x1s.astype(float), x2s.astype(float)))
+        return out
+
+    def _row_bounds(self, j: int) -> Tuple[float, float]:
+        hist = self.histogram
+        y1 = hist.domain.y1 + j * hist.cell_edge_y
+        return y1, y1 + hist.cell_edge_y
+
+    def _accepted_bounds(self, filtered) -> np.ndarray:
+        """Accepted-cell rectangles as a bounds array (cell_rect floats)."""
+        ai, aj = np.nonzero(filtered.accepted)
+        if ai.size == 0:
+            return np.empty((0, 4), dtype=float)
+        hist = self.histogram
+        x1 = hist.domain.x1 + ai * hist.cell_edge
+        y1 = hist.domain.y1 + aj * hist.cell_edge_y
+        return np.column_stack([x1, y1, x1 + hist.cell_edge, y1 + hist.cell_edge_y])
+
+    # ------------------------------------------------------------------
+    # ρ-monotonic band cache
+    # ------------------------------------------------------------------
+    def _cache_key(self, query: SnapshotPDRQuery) -> tuple:
+        tree_epoch = getattr(self.tree, "epoch", None)
+        hist_epoch = getattr(self.histogram, "_epoch", None)
+        return (tree_epoch, hist_epoch, float(query.qt), float(query.l))
+
+    @staticmethod
+    def _strips_covered(
+        x1s: np.ndarray, x2s: np.ndarray, cx1: np.ndarray, cx2: np.ndarray
+    ) -> bool:
+        """True when every [x1, x2) strip lies inside some cached strip."""
+        idx = np.searchsorted(cx1, x1s, side="right") - 1
+        if (idx < 0).any():
+            return False
+        return bool((x1s >= cx1[idx]).all() and (x2s <= cx2[idx]).all())
+
+    def _skippable_rows(
+        self, key: tuple, rows, threshold: float
+    ) -> set:
+        """Rows whose cached band maximum proves the refinement empty."""
+        with self._band_cache_lock:
+            cached = self._band_cache.get(key)
+            if cached is None:
+                return set()
+            skippable = set()
+            for j, x1s, x2s in rows:
+                entry = cached.get(j)
+                if entry is None:
+                    continue
+                cx1, cx2, m_b = entry
+                if m_b < threshold and self._strips_covered(x1s, x2s, cx1, cx2):
+                    skippable.add(j)
+            return skippable
+
+    def _remember_rows(self, key: tuple, entries: Dict[int, tuple]) -> None:
+        if not entries:
+            return
+        with self._band_cache_lock:
+            bucket = self._band_cache.get(key)
+            if bucket is None:
+                bucket = {}
+                self._band_cache[key] = bucket
+                while len(self._band_cache) > _BAND_CACHE_KEYS:
+                    self._band_cache.popitem(last=False)
+            else:
+                self._band_cache.move_to_end(key)
+            bucket.update(entries)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def query(self, query: SnapshotPDRQuery, deadline=None) -> QueryResult:
         """Exact PDR answer; stats include filter counters and charged I/O.
 
         ``deadline`` (a :class:`repro.reliability.deadline.Deadline`) is
-        checked cooperatively before each candidate-cell refinement —
-        refinement is where FR's cost lives, one range query per cell —
-        raising :class:`~repro.core.errors.DeadlineExceededError` so the
-        degradation ladder can fall back to a cheaper method.
+        checked cooperatively before each band (or candidate-cell)
+        refinement — refinement is where FR's cost lives — raising
+        :class:`~repro.core.errors.DeadlineExceededError` so the degradation
+        ladder can fall back to a cheaper method.
         """
+        if self.batch_candidates and hasattr(self.tree, "range_positions_batch"):
+            return self._query_banded(query, deadline)
+        return self._query_per_cell(query, deadline)
+
+    def _query_banded(self, query: SnapshotPDRQuery, deadline) -> QueryResult:
+        buffer = self.tree.buffer
+        io_before = buffer.stats.misses if buffer is not None else 0
+        hits_before = self.histogram.cache_hits
+        misses_before = self.histogram.cache_misses
+        start = time.perf_counter()
+
+        tracer = TELEMETRY.tracer
+        filtered = filter_query(self.histogram, query)
+        filter_seconds = time.perf_counter() - start
+        # Each measured stage float is both accumulated below and recorded
+        # as a trace leaf, so trace-derived totals equal stats.extra exactly.
+        tracer.record_span("filter", filter_seconds)
+
+        half = query.l / 2.0
+        threshold = query.min_count - _THRESHOLD_EPS
+        domain = self.histogram.domain
+
+        # --- fuse: candidate mask -> per-row strip bands -------------------
+        stage = time.perf_counter()
+        rows = self._plan_rows(filtered.candidate)
+        for _ in rows:
+            if self.faults is not None:
+                self.faults.hit("fr.refine")
+            if deadline is not None:
+                deadline.check("fr.refine")
+        cache_key = self._cache_key(query)
+        skippable = self._skippable_rows(cache_key, rows, threshold)
+        kept = [r for r in rows if r[0] not in skippable]
+        fuse_seconds = time.perf_counter() - stage
+        tracer.record_span(
+            "fuse", fuse_seconds, bands=len(rows), skipped=len(skippable)
+        )
+
+        # --- fetch: one shared TPR traversal for every band ----------------
+        stage = time.perf_counter()
+        fetch_rects = []
+        row_bounds = []
+        for j, x1s, x2s in kept:
+            y1, y2 = self._row_bounds(j)
+            row_bounds.append((y1, y2))
+            fetch_rects.append(
+                Rect(float(x1s[0]) - half, y1 - half, float(x2s[-1]) + half, y2 + half)
+            )
+        fetched = (
+            self.tree.range_positions_batch(fetch_rects, float(query.qt))
+            if fetch_rects
+            else []
+        )
+        objects_examined = 0
+        tasks: List[BandTask] = []
+        for (j, x1s, x2s), (y1, y2), (px, py) in zip(kept, row_bounds, fetched):
+            objects_examined += int(px.size)
+            # Objects outside the domain do not count toward density — the
+            # same convention the histogram maintains (see DensityHistogram).
+            inside = (
+                (px >= domain.x1)
+                & (px < domain.x2)
+                & (py >= domain.y1)
+                & (py < domain.y2)
+            )
+            tasks.append(BandTask(y1, y2, x1s, x2s, px[inside], py[inside]))
+        fetch_seconds = time.perf_counter() - stage
+        tracer.record_span("fetch", fetch_seconds, objects=objects_examined)
+
+        # --- sweep: vectorised band kernel, inline or pooled ---------------
+        stage = time.perf_counter()
+        workers = self.refine_workers
+        if workers > 0 and len(tasks) > 1:
+            n_chunks = min(workers, len(tasks))
+            sizes = [
+                len(tasks) // n_chunks + (1 if k < len(tasks) % n_chunks else 0)
+                for k in range(n_chunks)
+            ]
+            offsets, pos = [], 0
+            payloads = []
+            for size in sizes:
+                offsets.append(pos)
+                payloads.append(
+                    (
+                        [tuple(t) for t in tasks[pos : pos + size]],
+                        query.l,
+                        query.min_count,
+                    )
+                )
+                pos += size
+            pool = _refine_pool(workers)
+            chunks = list(pool.map(_refine_bands_worker, payloads))
+            swept = merge_band_results(chunks, offsets)
+        else:
+            swept = refine_bands(tasks, query.l, query.min_count)
+        sweep_seconds = time.perf_counter() - stage
+        tracer.record_span(
+            "sweep", sweep_seconds, rects=int(swept.bounds.shape[0]),
+            segments=swept.segments,
+        )
+
+        # --- merge: accepted cells + refined rects, cache band maxima ------
+        stage = time.perf_counter()
+        self._remember_rows(
+            cache_key,
+            {
+                j: (x1s, x2s, int(m_b))
+                for (j, x1s, x2s), m_b in zip(kept, swept.max_active)
+            },
+        )
+        bounds = np.concatenate([self._accepted_bounds(filtered), swept.bounds])
+        # Accepted cells, candidate strips and per-strip sweep emissions are
+        # pairwise disjoint by construction: the O(n) area fast path applies.
+        regions = RegionSet.from_bounds(bounds, disjoint=True)
+        merge_seconds = time.perf_counter() - stage
+        tracer.record_span("merge", merge_seconds, rects=len(regions))
+
+        tm.REFINE_BANDS.labels("swept").inc(len(kept))
+        tm.REFINE_BANDS.labels("skipped").inc(len(skippable))
+        tm.REFINE_POOL_WORKERS.set(float(workers))
+        for band_stage, dt in (
+            ("fuse", fuse_seconds),
+            ("fetch", fetch_seconds),
+            ("sweep", sweep_seconds),
+            ("merge", merge_seconds),
+        ):
+            tm.REFINE_BAND_SECONDS.labels(band_stage).observe(dt)
+
+        cpu = time.perf_counter() - start
+        io_count = (buffer.stats.misses - io_before) if buffer is not None else 0
+        io_seconds = (
+            io_count * buffer.io_seconds_per_miss if buffer is not None else 0.0
+        )
+        stats = QueryStats(
+            method="fr",
+            cpu_seconds=cpu,
+            io_count=io_count,
+            io_seconds=io_seconds,
+            accepted_cells=filtered.accepted_count,
+            rejected_cells=filtered.rejected_count,
+            candidate_cells=filtered.candidate_count,
+            objects_examined=objects_examined,
+        )
+        stats.extra["filter_seconds"] = filter_seconds
+        stats.extra["fuse_seconds"] = fuse_seconds
+        stats.extra["fetch_seconds"] = fetch_seconds
+        stats.extra["sweep_seconds"] = sweep_seconds
+        stats.extra["merge_seconds"] = merge_seconds
+        stats.extra["refine_bands"] = float(len(kept))
+        stats.extra["refine_bands_skipped"] = float(len(skippable))
+        stats.extra["refine_segments"] = float(swept.segments)
+        stats.extra["refine_workers"] = float(workers)
+        stats.extra["cache_hits"] = float(self.histogram.cache_hits - hits_before)
+        stats.extra["cache_misses"] = float(
+            self.histogram.cache_misses - misses_before
+        )
+        return QueryResult(regions=regions, stats=stats, query=query)
+
+    def _query_per_cell(self, query: SnapshotPDRQuery, deadline) -> QueryResult:
+        """The legacy per-candidate-rect loop (band-fusion equivalence oracle)."""
         buffer = self.tree.buffer
         io_before = buffer.stats.misses if buffer is not None else 0
         hits_before = self.histogram.cache_hits

@@ -29,6 +29,7 @@ production (monotonic time).
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -170,6 +171,10 @@ class AdmissionController:
         self.in_flight = 0
         self.counters: Counter = Counter()
         self._breakers: Dict[str, CircuitBreaker] = {}
+        # Read-only queries are admitted from a thread pool in the serving
+        # tier; the bucket's refill-check-charge sequence and the seat
+        # counter must not interleave or tokens get double-spent.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # admission
@@ -192,6 +197,10 @@ class AdmissionController:
         from the bucket's refill rate when even the cheapest acceptable
         rung is unaffordable, or when the concurrency cap is reached.
         """
+        with self._lock:
+            return self._admit_locked(method)
+
+    def _admit_locked(self, method: str) -> Tuple[str, bool]:
         self.counters["requested"] += 1
         if self.in_flight >= self.config.max_concurrent:
             self.counters["rejected"] += 1
@@ -224,32 +233,36 @@ class AdmissionController:
     @contextmanager
     def slot(self):
         """Holds one concurrency seat for the duration of an evaluation."""
-        self.in_flight += 1
+        with self._lock:
+            self.in_flight += 1
         try:
             yield
         finally:
-            self.in_flight -= 1
+            with self._lock:
+                self.in_flight -= 1
 
     # ------------------------------------------------------------------
     # circuit breaking
     # ------------------------------------------------------------------
     def breaker(self, backend: str) -> CircuitBreaker:
         """The (lazily created) breaker guarding ``backend``."""
-        if backend not in self._breakers:
-            self._breakers[backend] = CircuitBreaker(
-                self.clock,
-                threshold=self.config.breaker_threshold,
-                probation_seconds=self.config.breaker_probation_seconds,
-            )
-        return self._breakers[backend]
+        with self._lock:
+            if backend not in self._breakers:
+                self._breakers[backend] = CircuitBreaker(
+                    self.clock,
+                    threshold=self.config.breaker_threshold,
+                    probation_seconds=self.config.breaker_probation_seconds,
+                )
+            return self._breakers[backend]
 
     def breaker_states(self) -> Dict[str, str]:
         return {name: b.state for name, b in self._breakers.items()}
 
     def report(self) -> dict:
         """Operator-facing counters (merged into ``reliability_report``)."""
-        out = dict(self.counters)
-        out["in_flight"] = self.in_flight
-        out["tokens"] = round(self.bucket.tokens, 6)
-        out["breakers"] = self.breaker_states()
-        return out
+        with self._lock:
+            out = dict(self.counters)
+            out["in_flight"] = self.in_flight
+            out["tokens"] = round(self.bucket.tokens, 6)
+            out["breakers"] = self.breaker_states()
+            return out

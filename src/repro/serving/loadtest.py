@@ -67,9 +67,12 @@ class LoadTestConfig:
     varrho: float = 2.0
     query_deadline: Optional[float] = 0.5  # degradation ladder budget
     query_methods: Tuple[str, ...] = ("pa", "fr")
-    report_slo_p99_ms: float = 250.0  # reports queue behind ~50ms queries
-                                      # on the single backend thread
-    query_slo_p99_ms: float = 2000.0
+    report_slo_p99_ms: float = 250.0  # reports own the writer thread; queries
+                                      # run on the reader pool and no longer
+                                      # queue ahead of them
+    query_slo_p99_ms: float = 600.0   # post-band-fusion distribution (fr ~5ms
+                                      # harness-sized); trips on a return to
+                                      # the per-cell refinement regime
     max_failure_ratio: float = 0.0  # ops allowed to exhaust retries
     kill_primary_at: Optional[float] = None  # seconds into the run
 

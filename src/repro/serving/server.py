@@ -12,11 +12,17 @@ behind the length-prefixed JSON protocol of :mod:`.protocol`:
   the stream framing, and at most ``max_inflight`` requests may be
   pipelined per connection — the excess is answered ``too_many_inflight``
   immediately rather than queued without bound.
-* **One writer thread.**  The backend is single-threaded state; every
-  backend operation (and every control call from
-  :meth:`ServerThread.call`) runs on one dedicated executor thread, so
-  the event loop stays free for I/O while state access is serialized —
-  the same discipline the in-process stack always assumed.
+* **One writer thread, many reader threads.**  Mutations (``report``,
+  ``advance``, ``retire``) and control calls from
+  :meth:`ServerThread.call` run on one dedicated executor thread, as the
+  in-process stack always assumed.  Read-only queries (``fr_query``,
+  ``pa_query``, ``query``, ``status``) fan out over a small reader pool
+  instead, coordinated by a writer-preference read/write lock: reads run
+  concurrently with each other (the band-fused refinement pipeline and
+  the B&B evaluator release the GIL inside numpy/BLAS, so this is real
+  parallelism), while any write drains the readers first and runs alone.
+  A long FR refinement no longer heads-of-line-blocks every other query
+  behind the single backend thread.
 * **Structured errors.**  Admission sheds carry the token bucket's
   ``retry_after`` verbatim; writes reaching a non-primary return
   ``not_primary`` with a ``redirect``; a draining server answers
@@ -71,10 +77,60 @@ class ServingConfig:
     write_timeout: float = 10.0
     max_frame: int = DEFAULT_MAX_FRAME
     max_inflight: int = 16  # pipelined requests per connection
+    read_workers: int = 4  # reader threads for read-only ops
     drain_deadline: float = 5.0
     drain_retry_after: float = 1.0  # hint on `draining` error frames
     advertise: Optional[Tuple[str, int]] = None  # address told to clients
     primary_address: Optional[Tuple[str, int]] = None  # redirect target
+
+
+# Ops that never mutate backend state; they run on the reader pool under
+# the shared side of the state lock.  (``status`` includes the resource
+# probe, which is an idempotent heal-attempt and safe under concurrent
+# readers; every actual mutation takes the exclusive side.)
+READ_OPS = frozenset({"fr_query", "pa_query", "query", "status"})
+
+
+class _ReadWriteLock:
+    """A writer-preference readers/writer lock.
+
+    Readers share; a writer waits for readers to drain and runs alone.
+    Arriving readers queue behind a *waiting* writer so a steady query
+    stream cannot starve ingest.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
 
 
 class _Connection:
@@ -99,10 +155,16 @@ class PDRTCPServer:
         self._tasks: Set[asyncio.Task] = set()
         self._drained = asyncio.Event()
         self._drain_started = False
-        # the single backend thread: state access is serialized here
+        # the single writer thread: every mutation is serialized here
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="pdr-backend"
         )
+        # read-only queries fan out here, sharing the state lock's read side
+        self._read_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, self.config.read_workers),
+            thread_name_prefix="pdr-read",
+        )
+        self._state_lock = _ReadWriteLock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -149,6 +211,7 @@ class PDRTCPServer:
 
     def shutdown_executor(self) -> None:
         self._executor.shutdown(wait=True)
+        self._read_executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # backend introspection (duck-typed over server vs group)
@@ -302,9 +365,10 @@ class PDRTCPServer:
                 retry_after=self.config.drain_retry_after,
             )
         loop = asyncio.get_event_loop()
+        executor = self._read_executor if op in READ_OPS else self._executor
         try:
             payload = await loop.run_in_executor(
-                self._executor, self._backend_call, op, message
+                executor, self._backend_call, op, message
             )
         except ProtocolError as exc:
             return self._error_frame(exc.code, str(exc))
@@ -372,9 +436,13 @@ class PDRTCPServer:
                 self._close_connection(conn, "reset")
 
     # ------------------------------------------------------------------
-    # backend operations (executor thread only)
+    # backend operations (executor threads only)
     # ------------------------------------------------------------------
     def _backend_call(self, op: str, message: dict) -> dict:
+        if op in READ_OPS:
+            self._state_lock.acquire_read()
+        else:
+            self._state_lock.acquire_write()
         try:
             return self._dispatch_backend(op, message)
         except (KeyError, TypeError, ValueError) as exc:
@@ -384,6 +452,11 @@ class PDRTCPServer:
                 f"malformed {op!r} request: {type(exc).__name__}: {exc}",
                 code="bad_request",
             ) from exc
+        finally:
+            if op in READ_OPS:
+                self._state_lock.release_read()
+            else:
+                self._state_lock.release_write()
 
     def _dispatch_backend(self, op: str, message: dict) -> dict:
         backend = self.backend
@@ -520,8 +593,20 @@ class ServerThread:
                 loop.close()
 
     def call(self, fn, *args, **kwargs):
-        """Run ``fn`` on the backend thread; blocks for the result."""
-        return self.server._executor.submit(fn, *args, **kwargs).result()
+        """Run ``fn`` on the writer thread; blocks for the result.
+
+        Control calls may mutate backend state, so they take the
+        exclusive side of the state lock — the same discipline as any
+        write op — and therefore serialize against in-flight reads.
+        """
+        def locked():
+            self.server._state_lock.acquire_write()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.server._state_lock.release_write()
+
+        return self.server._executor.submit(locked).result()
 
     def drain(self, timeout: Optional[float] = None) -> None:
         if self._loop is None or not self._loop.is_running():

@@ -9,6 +9,7 @@ charged 10 ms, buffer = 10 % of the dataset).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -51,6 +52,11 @@ class BufferPool:
         self._resident: "OrderedDict[int, None]" = OrderedDict()
         self._faults = faults
         self.stats = IOStats()
+        # Serving runs read-only queries on a thread pool; the LRU list and
+        # the counters are the one piece of index state every traversal
+        # mutates, so they get their own lock (check-then-move on the
+        # OrderedDict is not atomic).
+        self._lock = threading.RLock()
 
     @property
     def capacity(self) -> int:
@@ -64,9 +70,10 @@ class BufferPool:
         """Change capacity, evicting LRU pages if shrinking."""
         if capacity_pages < 1:
             raise InvalidParameterError(f"buffer capacity must be >= 1, got {capacity_pages}")
-        self._capacity = capacity_pages
-        while len(self._resident) > self._capacity:
-            self._resident.popitem(last=False)
+        with self._lock:
+            self._capacity = capacity_pages
+            while len(self._resident) > self._capacity:
+                self._resident.popitem(last=False)
 
     def access(self, page_id: int) -> bool:
         """Touch ``page_id``; returns True on a hit, False on a miss.
@@ -75,35 +82,40 @@ class BufferPool:
         site: an injected error raises *before* the page is counted or
         made resident, exactly like a failed read.
         """
-        if page_id in self._resident:
-            self._resident.move_to_end(page_id)
-            self.stats.hits += 1
-            return True
-        if self._faults is not None:
-            self._faults.hit("buffer.io")
-        self.stats.misses += 1
-        self._resident[page_id] = None
-        if len(self._resident) > self._capacity:
-            self._resident.popitem(last=False)
-        return False
+        with self._lock:
+            if page_id in self._resident:
+                self._resident.move_to_end(page_id)
+                self.stats.hits += 1
+                return True
+            if self._faults is not None:
+                self._faults.hit("buffer.io")
+            self.stats.misses += 1
+            self._resident[page_id] = None
+            if len(self._resident) > self._capacity:
+                self._resident.popitem(last=False)
+            return False
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page (e.g. after a node is freed by the index)."""
-        self._resident.pop(page_id, None)
+        with self._lock:
+            self._resident.pop(page_id, None)
 
     def contains(self, page_id: int) -> bool:
-        return page_id in self._resident
+        with self._lock:
+            return page_id in self._resident
 
     def clear(self) -> None:
-        self._resident.clear()
+        with self._lock:
+            self._resident.clear()
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def reset_stats(self) -> IOStats:
         """Zero the counters, returning the previous values."""
-        old, self.stats = self.stats, IOStats()
-        return old
+        with self._lock:
+            old, self.stats = self.stats, IOStats()
+            return old
 
     def charged_seconds(self, stats: IOStats = None) -> float:
         """I/O time charged for ``stats`` (default: the live counters)."""

@@ -37,6 +37,11 @@ REQUIRED_FAMILIES = (
     "repro_ingest_waves_total",
     "repro_query_stage_seconds",
     "repro_query_seconds",
+    # repro_refine_bands_total is labeled and only materialises once a
+    # banded FR query runs; the pool-worker gauge and band-stage histogram
+    # are unlabeled/required
+    "repro_refine_pool_workers",
+    "repro_refine_band_seconds",
     "repro_wal_append_seconds",
     "repro_wal_fsync_seconds",
     "repro_replication_lag_records",

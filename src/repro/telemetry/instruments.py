@@ -59,6 +59,20 @@ QUERY_STAGE_SECONDS = _reg.histogram(
     "Per-stage query latency (filter/fetch/sweep/bnb) by served method",
     labelnames=("method", "stage"),
 )
+REFINE_BANDS = _reg.counter(
+    "repro_refine_bands_total",
+    "Fused refinement bands, by how they were resolved",
+    labelnames=("outcome",),  # swept | skipped (ρ-monotonic cache)
+)
+REFINE_POOL_WORKERS = _reg.gauge(
+    "repro_refine_pool_workers",
+    "Process-pool workers configured for band refinement (0 = inline)",
+)
+REFINE_BAND_SECONDS = _reg.histogram(
+    "repro_refine_band_seconds",
+    "Band-refinement pipeline latency per query, by stage",
+    labelnames=("stage",),  # fuse | fetch | sweep | merge
+)
 LADDER_FALLBACKS = _reg.counter(
     "repro_query_ladder_fallbacks_total",
     "Degradation-ladder rungs abandoned (deadline or fault), by rung",

@@ -239,7 +239,8 @@ class TestOverload:
         faults = FaultInjector()
         # price evaluation in virtual time: FR refinement dominates, PA is
         # cheaper, the histogram bounds are nearly free
-        faults.inject_delay("fr.refine", 0.004)
+        # (priced per fused band now that refinement is band-batched)
+        faults.inject_delay("fr.refine", 0.012)
         faults.inject_delay("pa.query", 0.02)
         group, _ = make_serving_group(tmp_path, n_replicas=0, faults=faults)
         clock = faults.clock

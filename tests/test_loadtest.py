@@ -120,6 +120,35 @@ def test_closed_loop_run_passes_and_serializes(hosted):
     assert "verdict: PASS" in result.summary()
 
 
+def test_query_heavy_sheds_carry_retry_after():
+    """Overloaded query-heavy traffic sheds, and every shed names a wait.
+
+    The reader pool made query-heavy load genuinely concurrent, so the
+    admission bucket is now hit from several threads at once — the shed
+    path must still attach the bucket's computed ``retry_after`` to every
+    rejection (the client counts any shed without one).
+    """
+    workdir = tempfile.mkdtemp(prefix="loadtest-shed-")
+    group = build_serving_group(workdir + "/state", objects=32, replicas=1,
+                                admission_rate=3.0, admission_burst=3.0)
+    thread = ServerThread(group, ServingConfig()).start()
+    try:
+        config = LoadTestConfig(mix="query-heavy", mode="closed",
+                                duration=1.5, concurrency=3, seed=13,
+                                objects=32, max_failure_ratio=1.0,
+                                report_slo_p99_ms=20000.0,
+                                query_slo_p99_ms=20000.0)
+        result = run_loadtest([thread.address], config=config)
+        assert result.ops > 0
+        assert result.sheds_honored > 0
+        assert result.sheds_missing_retry_after == 0
+        assert result.slo_verdicts()["retry_after_always_present"] is True
+    finally:
+        thread.stop()
+        group.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def test_open_loop_run_executes_the_whole_schedule(hosted):
     config = LoadTestConfig(mix="query-heavy", mode="open", duration=1.0,
                             rate=30.0, concurrency=2, seed=5, objects=32,

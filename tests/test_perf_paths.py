@@ -1,9 +1,12 @@
-"""Equivalence suites for the PR-4 fast paths.
+"""Equivalence suites for the fast paths.
 
-Three families of properties:
+Families of properties:
 
 * the vectorised 1-D sweep and X-driver are **bit-identical** to the
   reference event-loop implementations (same floats, ``==`` on every bound);
+* the band-fused refinement kernel, the batched tree traversal and the
+  process-pool fan-out are bit-identical to the sequential per-cell path
+  (and to each other across worker counts and chunkings);
 * a :meth:`PDRServer.report_batch` wave leaves every maintained structure —
   histogram counters, PA coefficients, tree contents, WAL — in exactly the
   state the same reports produce sequentially, and recovery from the
@@ -22,8 +25,12 @@ from hypothesis import strategies as st
 from repro import PDRServer
 from repro.core.geometry import Rect
 from repro.histogram.density_histogram import DensityHistogram
+from repro.index.tree import TPRTree
+from repro.methods.fr import FRMethod
+from repro.motion.model import Motion
 from repro.reliability.recovery import UpdateLog
 from repro.reliability.validation import ReliabilityConfig
+from repro.sweep.band_sweep import BandTask, merge_band_results, refine_bands
 from repro.sweep.plane_sweep import (
     dense_segments_1d,
     dense_segments_1d_reference,
@@ -31,7 +38,7 @@ from repro.sweep.plane_sweep import (
     refine_cell_reference,
 )
 
-from .conftest import small_system_config
+from .conftest import populate_clustered, small_system_config
 
 finite = st.floats(
     min_value=-50.0, max_value=150.0, allow_nan=False, allow_infinity=False
@@ -87,6 +94,186 @@ def test_sweep_edge_cases_match_reference():
         assert dense_segments_1d(arr, half, lo, hi, mc) == (
             dense_segments_1d_reference(arr, half, lo, hi, mc)
         )
+
+
+# ----------------------------------------------------------------------
+# band-fused refinement == per-cell refinement, bit for bit
+# ----------------------------------------------------------------------
+def _random_band_case(seed):
+    """Random fused bands plus the sequential per-strip oracle's answer."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 60))
+    l = float(rng.uniform(0.5, 8.0))
+    half = l / 2.0
+    rho = float(rng.choice([0.0, 0.05, 0.2, 1.0, 3.0]))
+    min_count = rho * l * l
+    xs = rng.uniform(-5, 25, n)
+    ys = rng.uniform(-5, 25, n)
+    tasks = []
+    oracle = []
+    for _ in range(int(rng.integers(1, 4))):
+        y1 = float(rng.uniform(0, 18))
+        y2 = y1 + float(rng.uniform(0.5, 4.0))
+        n_strips = int(rng.integers(1, 4))
+        cuts = np.sort(rng.uniform(0, 20, 2 * n_strips))
+        sx1 = cuts[0::2]
+        sx2 = np.maximum(cuts[1::2], cuts[0::2] + 0.1)
+        # one fused fetch per band: everything inside the expanded band rect
+        fy1, fy2 = y1 - half, y2 + half
+        keep = (
+            (xs >= sx1.min() - half)
+            & (xs <= sx2.max() + half)
+            & (ys >= fy1)
+            & (ys <= fy2)
+        )
+        tasks.append(BandTask(y1, y2, sx1, sx2, xs[keep], ys[keep]))
+        # the oracle fetches and refines strip by strip, like the old path
+        for x1, x2 in zip(sx1, sx2):
+            strip = (xs >= x1 - half) & (xs <= x2 + half) & (ys >= fy1) & (ys <= fy2)
+            positions = list(zip(xs[strip], ys[strip]))
+            for r in refine_cell(positions, Rect(x1, y1, x2, y2), l, min_count):
+                oracle.append((r.x1, r.y1, r.x2, r.y2))
+    return tasks, l, min_count, oracle
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_band_kernel_matches_per_strip_oracle(seed):
+    tasks, l, min_count, oracle = _random_band_case(seed)
+    result = refine_bands(tasks, l, min_count)
+    assert [tuple(row) for row in result.bounds] == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), n_chunks=st.integers(1, 3))
+def test_band_kernel_chunking_is_invariant(seed, n_chunks):
+    """Splitting tasks across pool chunks never changes a single float."""
+    tasks, l, min_count, _ = _random_band_case(seed)
+    whole = refine_bands(tasks, l, min_count)
+    sizes = [
+        len(tasks) // n_chunks + (1 if i < len(tasks) % n_chunks else 0)
+        for i in range(n_chunks)
+    ]
+    chunks, offsets, start = [], [], 0
+    for size in sizes:
+        chunks.append(refine_bands(tasks[start : start + size], l, min_count))
+        offsets.append(start)
+        start += size
+    merged = merge_band_results(chunks, offsets)
+    assert np.array_equal(merged.bounds, whole.bounds)
+    assert np.array_equal(merged.task_of_rect, whole.task_of_rect)
+    assert np.array_equal(merged.max_active, whole.max_active)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_batch_traversal_matches_sequential(seed):
+    """One shared traversal answers every rect exactly like N traversals."""
+    rng = np.random.default_rng(seed)
+    tree = TPRTree(horizon=10.0)
+    for oid in range(int(rng.integers(1, 150))):
+        tree.insert(
+            Motion(
+                oid, 0,
+                float(rng.uniform(0, 100)), float(rng.uniform(0, 100)),
+                float(rng.uniform(-2, 2)), float(rng.uniform(-2, 2)),
+            )
+        )
+    rects, qts = [], []
+    for _ in range(int(rng.integers(1, 10))):
+        x1, y1 = rng.uniform(0, 90, 2)
+        rects.append(
+            Rect(float(x1), float(y1),
+                 float(x1 + rng.uniform(1, 30)), float(y1 + rng.uniform(1, 30)))
+        )
+        qts.append(float(rng.integers(0, 5)))
+    motions = tree.range_query_batch(rects, np.asarray(qts))
+    positions = tree.range_positions_batch(rects, np.asarray(qts))
+    for rect, qt, batch_m, (px, py) in zip(rects, qts, motions, positions):
+        sequential = tree.range_query(rect, qt)
+        assert [m.oid for m in sequential] == [m.oid for m in batch_m]
+        sx = np.array([m.position_at(qt)[0] for m in sequential])
+        sy = np.array([m.position_at(qt)[1] for m in sequential])
+        assert np.array_equal(sx, px) and np.array_equal(sy, py)
+
+
+@pytest.fixture(scope="module")
+def fr_world():
+    server = PDRServer(small_system_config(), expected_objects=200)
+    populate_clustered(server, 150, seed=5)
+    return server
+
+
+def _region_tuples(result):
+    return [(r.x1, r.y1, r.x2, r.y2) for r in result.regions]
+
+
+def test_banded_fr_matches_per_cell_fr(fr_world):
+    server = fr_world
+    qt = server.tnow + 1
+    banded = FRMethod(server.histogram, server.tree, batch_candidates=True)
+    with pytest.deprecated_call():
+        per_cell = FRMethod(server.histogram, server.tree, batch_candidates=False)
+    for varrho in (0.8, 1.2, 2.0, 3.5):
+        query = server.make_query(qt=qt, varrho=varrho)
+        a = banded.query(query)
+        b = per_cell.query(query)
+        # Same region *union*, exactly: the raster in _combine_area breaks
+        # on the rect edges themselves, so zero symmetric difference means
+        # identical point sets — the decompositions legitimately differ
+        # (a dense run crossing a cell seam is one fused rect, not two).
+        assert a.regions.symmetric_difference_area(b.regions) == 0.0
+        assert a.regions.area() == pytest.approx(b.regions.area(), rel=0, abs=1e-9)
+        assert a.stats.accepted_cells == b.stats.accepted_cells
+        assert a.stats.candidate_cells == b.stats.candidate_cells
+
+
+def test_refine_worker_counts_are_invariant(fr_world):
+    server = fr_world
+    qt = server.tnow + 1
+    query = server.make_query(qt=qt, varrho=1.2)
+    baseline = FRMethod(server.histogram, server.tree, refine_workers=0).query(query)
+    assert baseline.stats.extra["refine_workers"] == 0.0
+    for workers in (1, 2):
+        result = FRMethod(
+            server.histogram, server.tree, refine_workers=workers
+        ).query(query)
+        assert _region_tuples(result) == _region_tuples(baseline)
+        assert result.stats.extra["refine_workers"] == float(workers)
+
+
+def test_fused_rows_dedup_adjacent_cells(fr_world):
+    """Adjacent candidate cells fuse into one strip: one fetch per band row,
+    no duplicated or overlapping refinement output at the seam."""
+    server = fr_world
+    query = server.make_query(qt=server.tnow + 1, varrho=1.2)
+    result = FRMethod(server.histogram, server.tree).query(query)
+    extra = result.stats.extra
+    assert extra["refine_bands"] + extra["refine_bands_skipped"] < (
+        result.stats.candidate_cells
+    ), "fusion must fetch fewer bands than there are candidate cells"
+    rects = _region_tuples(result)
+    assert len(rects) == len(set(rects)), "fused strips must not emit duplicates"
+    # the answer is disjoint by construction; area() takes the O(n) path
+    assert result.regions.area() == pytest.approx(
+        sum((x2 - x1) * (y2 - y1) for x1, y1, x2, y2 in rects)
+    )
+
+
+def test_rho_monotonic_band_skip_reuses_prior_sweeps(fr_world):
+    """Raising varrho on the same snapshot skips bands whose cached max
+    active count already rules them out — without changing the answer."""
+    server = fr_world
+    qt = server.tnow + 1
+    fr = FRMethod(server.histogram, server.tree)
+    skipped = 0.0
+    for varrho in (1.2, 1.5, 2.0, 3.0):
+        query = server.make_query(qt=qt, varrho=varrho)
+        result = fr.query(query)
+        skipped += result.stats.extra["refine_bands_skipped"]
+        fresh = FRMethod(server.histogram, server.tree).query(query)
+        assert _region_tuples(result) == _region_tuples(fresh)
+    assert skipped > 0, "ascending varrho must hit the band-skip cache"
 
 
 # ----------------------------------------------------------------------
@@ -333,8 +520,17 @@ def test_fr_stage_timings_and_cache_counters(populated_server):
     qt = server.tnow + 1
     first = server.query("fr", qt=qt, rho=0.05)
     extra = first.stats.extra
-    for key in ("filter_seconds", "fetch_seconds", "sweep_seconds"):
+    stage_keys = (
+        "filter_seconds",
+        "fuse_seconds",
+        "fetch_seconds",
+        "sweep_seconds",
+        "merge_seconds",
+    )
+    for key in stage_keys:
         assert key in extra and extra[key] >= 0.0
+    # every recorded span is also accumulated: stages nest inside the query
+    assert sum(extra[key] for key in stage_keys) <= first.stats.cpu_seconds
     assert extra["cache_misses"] >= 1.0  # cold caches
     second = server.query("fr", qt=qt, rho=0.05)
     assert second.stats.extra["cache_hits"] >= 1.0  # warm caches
@@ -342,7 +538,13 @@ def test_fr_stage_timings_and_cache_counters(populated_server):
     report = server.reliability_report()
     assert report["query_cache_hits"] >= 1
     assert report["histogram_cache"]["hits"] >= 1
-    assert set(report["query_stage_seconds"]) == {"filter", "fetch", "sweep"}
+    assert set(report["query_stage_seconds"]) == {
+        "filter",
+        "fuse",
+        "fetch",
+        "sweep",
+        "merge",
+    }
 
 
 def test_monitor_events_carry_cache_hits(populated_server):

@@ -192,11 +192,11 @@ def test_oversized_frame_gets_error_but_connection_survives(tmp_path):
 
 def test_pipelining_beyond_max_inflight_is_refused(tmp_path):
     group = _make_group(tmp_path / "state")
-    thread = ServerThread(group, ServingConfig(max_inflight=1)).start()
+    thread = ServerThread(group, ServingConfig(max_inflight=1, read_workers=1)).start()
     try:
-        # park the single backend thread so the first request stays in
+        # park the one reader thread so the first status request stays in
         # flight while the second arrives
-        gate = thread.server._executor.submit(time.sleep, 0.4)
+        gate = thread.server._read_executor.submit(time.sleep, 0.4)
         sock = _raw_conn(thread.address)
         try:
             write_frame_sync(sock, {"op": "status", "id": 1})

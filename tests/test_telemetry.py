@@ -344,7 +344,7 @@ class TestStageSecondsCompatibility:
                 result = server.query("fr", qt=qt, varrho=varrho)
             (query_span,) = outer.children
             totals = query_span.stage_totals()
-            for stage in ("filter", "fetch", "sweep"):
+            for stage in ("filter", "fuse", "fetch", "sweep", "merge"):
                 assert totals.get(stage, 0.0) == result.stats.extra.get(
                     f"{stage}_seconds", 0.0
                 ), f"stage {stage} diverged at varrho={varrho}"
@@ -353,7 +353,13 @@ class TestStageSecondsCompatibility:
         """The report's stage_seconds equal hand-accumulated extras exactly."""
         server = _populated()
         qt = server.tnow + 1
-        accumulated = {"filter": 0.0, "fetch": 0.0, "sweep": 0.0}
+        accumulated = {
+            "filter": 0.0,
+            "fuse": 0.0,
+            "fetch": 0.0,
+            "sweep": 0.0,
+            "merge": 0.0,
+        }
         for varrho in (0.6, 0.9, 1.1, 1.4, 1.9, 2.5):
             result = server.query("fr", qt=qt, varrho=varrho)
             for stage in accumulated:
