@@ -26,6 +26,13 @@ loss against SLOs.  Both print machine-readable ``port=``/
 ``metrics-port=`` lines on stdout when binding ephemeral ports (as does
 ``metrics --serve 0``), so scripts never have to guess.
 
+Observability companions: ``journal`` tails the unified ops event
+journal a ``serve``/``supervise`` run writes under
+``<state_dir>/journal``; ``trace`` pretty-prints the stitched span tree
+of one sampled distributed trace; ``top`` renders a live terminal view
+(qps, latency percentiles, SLO budget, readonly/epoch state) from a
+serving process's ``/metrics.json`` scrape endpoint.
+
 Exit codes (stable; scripts may rely on them):
 
 ======  =========================================================
@@ -55,6 +62,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional
 
 from .core.system import PDRServer
 from .core.config import SystemConfig
@@ -353,8 +361,76 @@ def build_parser() -> argparse.ArgumentParser:
                     help="query p99 SLO in milliseconds")
     lt.add_argument("--max-failure-ratio", type=float, default=0.0,
                     help="fraction of ops allowed to exhaust retries")
+    lt.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                    help="sample one in N ops for distributed tracing; on "
+                         "an SLO violation the worst stitched trace is "
+                         "printed with the verdict")
+    lt.add_argument("--journal-dir", default=None,
+                    help="journal the sampled client traces here (point at "
+                         "the server's <state-dir>/journal so `repro "
+                         "trace` can join them with its records)")
     lt.add_argument("--json-out", default=None,
                     help="write the full result (latencies, verdicts) here")
+
+    jr = sub.add_parser(
+        "journal",
+        help="tail and filter the unified ops event journal (supervisor "
+             "lifecycle, failover, read-only, sheds, breaker and SLO "
+             "transitions, sampled traces)",
+    )
+    jr_src = jr.add_mutually_exclusive_group(required=True)
+    jr_src.add_argument("--dir", dest="journal_dir", default=None,
+                        help="journal directory (journal-<pid>-<n>.jsonl "
+                             "segments)")
+    jr_src.add_argument("--state-dir", default=None,
+                        help="state directory of a serve/supervise run "
+                             "(reads its journal/ subdirectory)")
+    jr.add_argument("--event", default=None,
+                    help="keep records with this event name; a trailing "
+                         "'.' matches a prefix (e.g. `supervise.`)")
+    jr.add_argument("--trace-id", default=None,
+                    help="keep records stamped with this trace id")
+    jr.add_argument("--since", type=float, default=None, metavar="EPOCH",
+                    help="keep records at or after this wall timestamp "
+                         "(epoch seconds)")
+    jr.add_argument("--tail", type=int, default=50,
+                    help="newest N records after filtering (0 = all)")
+    jr.add_argument("--format", choices=["text", "json"], default="text",
+                    help="text: one line per record; json: a JSON array")
+
+    tr = sub.add_parser(
+        "trace",
+        help="pretty-print the stitched span tree of one distributed "
+             "trace (client span, server dispatch, refinement stages)",
+    )
+    tr.add_argument("trace_id", help="the trace id to look up")
+    tr_src = tr.add_mutually_exclusive_group(required=True)
+    tr_src.add_argument("--dir", dest="journal_dir", default=None,
+                        help="journal directory holding the sampled traces")
+    tr_src.add_argument("--state-dir", default=None,
+                        help="state directory (reads its journal/ "
+                             "subdirectory)")
+    tr.add_argument("--from", dest="from_path", default=None,
+                    help="also search this telemetry snapshot's slow-query "
+                         "log for the trace")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a serving process: qps, latency "
+             "percentiles, inflight, SLO budget, readonly/epoch state "
+             "(renders from the /metrics.json scrape endpoint)",
+    )
+    top.add_argument("--url", default=None,
+                     help="metrics base URL (e.g. http://127.0.0.1:9100); "
+                          "overrides --host/--port")
+    top.add_argument("--host", default="127.0.0.1", help="metrics host")
+    top.add_argument("--port", type=int, default=None,
+                     help="metrics port (the `metrics-port=` line printed "
+                          "by `repro serve --metrics-port`)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh interval in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (scripts and CI)")
 
     met = sub.add_parser(
         "metrics",
@@ -637,10 +713,13 @@ def _boot_verify(state_dir: str, force_recover: bool) -> None:
     """
     from .reliability.integrity import scrub_state_dir, verify_state_dir
 
+    from .telemetry import JOURNAL
+
     report = verify_state_dir(state_dir)
     corrupt = [f for f in report.damaged() if f.state == "corrupt"]
     if corrupt and not force_recover:
         names = ", ".join(f.name for f in corrupt)
+        JOURNAL.emit("boot_refused", artifacts=[f.name for f in corrupt])
         raise IntegrityError(
             f"state dir {state_dir!r} holds corrupt artifact(s): {names}; "
             "refusing to serve from damaged state "
@@ -650,6 +729,9 @@ def _boot_verify(state_dir: str, force_recover: bool) -> None:
     if not report.clean or report.stray_tmp():
         repaired = scrub_state_dir(state_dir)
         for action in repaired.actions:
+            # journal + stderr: the stderr lines stay for the operator's
+            # scrollback, the journal records survive the process
+            JOURNAL.emit("boot_scrub", action=action)
             print(f"boot-scrub: {action}", file=sys.stderr)
 
 
@@ -705,6 +787,12 @@ def _cmd_serve(args) -> int:
         state_dir = owned_dir + "/state"
     else:
         state_dir = args.state_dir
+    # Bind the process-wide journal before boot so boot-scrub findings
+    # and recovery land in it; a supervising parent writes its own
+    # journal-<pid> segments into the same directory.
+    from .telemetry import JOURNAL
+
+    JOURNAL.bind(os.path.join(state_dir, "journal"), role="serve")
     if args.snapshot is not None:
         group = _serving_group(args.snapshot, args.replicas, args.staleness,
                                state_dir)
@@ -719,6 +807,10 @@ def _cmd_serve(args) -> int:
             admission_rate=args.admission_rate,
             fsync=args.fsync, checkpoint_interval=args.checkpoint_interval,
         )
+    JOURNAL.update_context(
+        epoch=group.epoch,
+        generation=getattr(group.primary, "recovery_generation", 0),
+    )
     thread = ServerThread(group, ServingConfig(
         host=args.host, port=args.port, read_timeout=args.read_timeout,
         max_inflight=args.max_inflight, drain_deadline=args.drain_deadline,
@@ -727,6 +819,8 @@ def _cmd_serve(args) -> int:
     try:
         thread.start()
         host, port = thread.address
+        JOURNAL.emit("serve.ready", port=port, tnow=group.tnow,
+                     replicas=len(group.replicas))
         print(f"port={port}", flush=True)
         if args.metrics_port is not None:
             from .telemetry import TELEMETRY, serve_metrics
@@ -740,6 +834,7 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         stop.wait()
+        JOURNAL.emit("serve.drain", deadline=args.drain_deadline)
         print(
             f"drain: no new connections; in-flight requests get "
             f"{args.drain_deadline:.1f}s",
@@ -800,12 +895,17 @@ def _cmd_loadtest(args) -> int:
 
     if (args.host is None) != (args.port is None):
         raise InvalidParameterError("--host and --port go together")
+    if args.journal_dir is not None:
+        from .telemetry import JOURNAL
+
+        JOURNAL.bind(args.journal_dir, role="loadtest")
     config = LoadTestConfig(
         mix=args.mix, mode=args.mode, duration=args.duration, rate=args.rate,
         concurrency=args.concurrency, seed=args.seed, objects=args.objects,
         report_slo_p99_ms=args.report_slo_ms, query_slo_p99_ms=args.query_slo_ms,
         max_failure_ratio=args.max_failure_ratio,
         kill_primary_at=args.kill_primary_at,
+        trace_sample=args.trace_sample,
     )
     if args.host is not None:
         if args.kill_primary_at is not None:
@@ -841,6 +941,226 @@ def _cmd_loadtest(args) -> int:
             json.dump(result.to_dict(), fh, indent=2)
         print(f"full result written to {args.json_out}", file=sys.stderr)
     return 0 if result.ok else EXIT_LOADTEST_FAILED
+
+
+def _journal_dir(args) -> str:
+    import os
+
+    if args.journal_dir is not None:
+        return args.journal_dir
+    return os.path.join(args.state_dir, "journal")
+
+
+def _format_journal_record(record: dict) -> str:
+    """One human-readable line per record (the `--format text` view)."""
+    import time as _time
+
+    known = ("seq", "ts", "perf", "pid", "event", "role", "epoch",
+             "generation", "trace_id")
+    when = _time.strftime(
+        "%H:%M:%S", _time.localtime(record.get("ts", 0.0))
+    ) + f".{int((record.get('ts', 0.0) % 1) * 1000):03d}"
+    parts = [
+        when,
+        f"pid={record.get('pid', '?')}",
+        f"{record.get('event', '?'):<24s}",
+    ]
+    for key in ("role", "epoch", "generation", "trace_id"):
+        value = record.get(key)
+        if value is not None:
+            parts.append(f"{key}={value}")
+    for key, value in record.items():
+        if key in known or value is None:
+            continue
+        if key == "trace" and isinstance(value, dict):
+            parts.append("trace=<tree>")  # full trees go to `repro trace`
+            continue
+        parts.append(f"{key}={value}")
+    return "  ".join(parts)
+
+
+def _cmd_journal(args) -> int:
+    import json
+
+    from .telemetry import read_journal
+
+    event = args.event
+    prefix = None
+    if event is not None and event.endswith("."):
+        prefix, event = event, None
+    records = read_journal(
+        _journal_dir(args),
+        event=event,
+        trace_id=args.trace_id,
+        since=args.since,
+    )
+    if prefix is not None:
+        records = [
+            r for r in records
+            if str(r.get("event", "")).startswith(prefix)
+        ]
+    if args.tail > 0:
+        records = records[-args.tail:]
+    if args.format == "json":
+        print(json.dumps(records, indent=2, default=str))
+    else:
+        for record in records:
+            print(_format_journal_record(record))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .telemetry import read_journal, render_span_tree
+
+    directory = _journal_dir(args)
+    records = read_journal(directory, trace_id=args.trace_id)
+    trees = [
+        r["trace"] for r in records
+        if r.get("event") == "client_trace" and isinstance(r.get("trace"), dict)
+    ]
+    if not trees and args.from_path is not None:
+        # fall back to a saved telemetry snapshot's slow-query exemplars
+        from .telemetry import load_snapshot
+
+        snapshot = load_snapshot(args.from_path)
+        for entry in (snapshot.get("slow_queries") or {}).get("entries", []):
+            if entry.get("trace_id") == args.trace_id and entry.get("trace"):
+                trees.append(entry["trace"])
+    if not trees and not records:
+        print(f"trace {args.trace_id!r} not found in {directory}",
+              file=sys.stderr)
+        return 1
+    for tree in trees:
+        for line in render_span_tree(tree):
+            print(line)
+    # the journal timeline of the trace (sheds, slow_query, ...) follows
+    timeline = [r for r in records if r.get("event") != "client_trace"]
+    if timeline:
+        print("journal records:")
+        for record in timeline:
+            print("  " + _format_journal_record(record))
+    if not trees:
+        print(
+            f"no stitched span tree for {args.trace_id!r} (the request "
+            "was not sampled); journal records above are all that exists",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _merged_quantiles(family: Optional[dict]) -> dict:
+    """p50/p95/p99 and count over *all* series of one histogram family.
+
+    Per-series quantiles cannot be averaged; merging the cumulative
+    buckets and reading the percentile off the merged distribution is
+    the statistically honest aggregation.
+    """
+    merged: dict = {}
+    for series in (family or {}).get("series", []):
+        for le, count in series.get("buckets", []):
+            key = float("inf") if le == "+Inf" else float(le)
+            merged[key] = merged.get(key, 0) + count
+    total = merged.get(float("inf"), 0)
+    out = {"count": total, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    if total <= 0:
+        return out
+    bounds = sorted(merged)
+    for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        want = q * total
+        for le in bounds:
+            if merged[le] >= want:
+                out[name] = le if le != float("inf") else bounds[-2]
+                break
+    return out
+
+
+def _gauge_value(family: Optional[dict], label: Optional[dict] = None) -> float:
+    for series in (family or {}).get("series", []):
+        if label is None or all(
+            series.get("labels", {}).get(k) == v for k, v in label.items()
+        ):
+            return float(series.get("value", 0.0))
+    return 0.0
+
+
+def _counter_total(family: Optional[dict]) -> float:
+    return sum(
+        float(series.get("value", 0.0))
+        for series in (family or {}).get("series", [])
+    )
+
+
+def _render_top_frame(families: dict, qps: Optional[float]) -> str:
+    lines = []
+    readonly = _gauge_value(families.get("repro_readonly")) > 0.0
+    epoch = int(_gauge_value(families.get("repro_replication_epoch")))
+    lines.append(
+        f"repro top — epoch {epoch}  "
+        f"state {'READ-ONLY' if readonly else 'serving'}  "
+        f"inflight {int(_gauge_value(families.get('repro_serving_inflight')))}"
+    )
+    served = _counter_total(families.get("repro_query_total"))
+    qps_text = f"{qps:8.1f}/s" if qps is not None else "       --"
+    lines.append(f"queries  total {int(served):>8d}   rate {qps_text}")
+    q = _merged_quantiles(families.get("repro_query_seconds"))
+    lines.append(
+        f"latency  p50 {q['p50'] * 1000.0:8.2f}ms   "
+        f"p95 {q['p95'] * 1000.0:8.2f}ms   p99 {q['p99'] * 1000.0:8.2f}ms"
+    )
+    burn = families.get("repro_slo_burn_rate")
+    budget = families.get("repro_slo_budget_remaining")
+    for window in ("5s", "60s", "300s"):
+        lines.append(
+            f"slo {window:>4s}  burn {_gauge_value(burn, {'window': window}):8.2f}   "
+            f"budget {_gauge_value(budget, {'window': window}) * 100.0:6.1f}%"
+        )
+    sheds = _counter_total(families.get("repro_admission_sheds_total"))
+    lines.append(
+        f"sheds    total {int(sheds):>8d}   "
+        f"wal lsn {int(_gauge_value(families.get('repro_wal_lsn')))}"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import json
+    import signal
+    import threading
+    import time as _time
+    import urllib.request
+
+    if args.url is None and args.port is None:
+        raise InvalidParameterError("give --url, or --port (with --host)")
+    base = args.url if args.url is not None else f"http://{args.host}:{args.port}"
+    url = base.rstrip("/") + "/metrics.json"
+
+    def fetch() -> dict:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            snapshot = json.loads(resp.read().decode("utf-8"))
+        return {f["name"]: f for f in snapshot.get("families", [])}
+
+    if args.once:
+        print(_render_top_frame(fetch(), qps=None))
+        return 0
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    prev_total: Optional[float] = None
+    prev_at = 0.0
+    while not stop.is_set():
+        families = fetch()
+        now = _time.perf_counter()
+        total = _counter_total(families.get("repro_query_total"))
+        qps = (
+            (total - prev_total) / (now - prev_at)
+            if prev_total is not None and now > prev_at
+            else None
+        )
+        prev_total, prev_at = total, now
+        # one ANSI clear per frame keeps the view in place like top(1)
+        print("\x1b[2J\x1b[H" + _render_top_frame(families, qps), flush=True)
+        stop.wait(max(0.1, args.interval))
+    return 0
 
 
 def _probe_workload(seed: int = 7, objects: int = 48) -> None:
@@ -1011,6 +1331,12 @@ def _dispatch(args) -> int:
         return _cmd_supervise(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
+    if args.command == "journal":
+        return _cmd_journal(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "report":

@@ -59,6 +59,7 @@ from ..reliability.validation import (
 from ..storage.buffer import BufferPool
 from ..telemetry import TELEMETRY
 from ..telemetry import instruments as tm
+from ..telemetry.journal import JOURNAL
 from ..telemetry.tracing import NOOP_SPAN
 from .config import SystemConfig
 from .errors import (
@@ -262,12 +263,16 @@ class PDRServer:
     # ------------------------------------------------------------------
     def enter_read_only(self, reason: str, retry_after: float = 0.5) -> None:
         """Refuse writes (queries keep serving) until a probe clears it."""
+        if not self.read_only:  # journal actual transitions, not re-entries
+            JOURNAL.emit("readonly_enter", reason=reason)
         self.read_only = True
         self.read_only_reason = reason
         self.read_only_retry_after = float(retry_after)
         tm.READONLY.set(1)
 
     def exit_read_only(self) -> None:
+        if self.read_only:
+            JOURNAL.emit("readonly_exit")
         self.read_only = False
         self.read_only_reason = ""
         tm.READONLY.set(0)
@@ -631,6 +636,9 @@ class PDRServer:
         self.query_counters["cache_hits"] += int(extra.get("cache_hits", 0.0))
         self.query_counters["cache_misses"] += int(extra.get("cache_misses", 0.0))
         tm.QUERIES.labels(method, "degraded" if result.degraded else "ok").inc()
+        # Feed the SLO monitor the best latency signal available: the
+        # traced wall duration, else the evaluation's measured CPU time.
+        tm.slo_record(span.duration if traced else result.stats.cpu_seconds)
         if traced:
             tm.QUERY_SECONDS.labels(method).observe(span.duration)
             TELEMETRY.note_query(span, result, requested_method=method)

@@ -37,6 +37,7 @@ from typing import Dict, Optional, Tuple
 
 from ..core.errors import AdmissionRejectedError, InvalidParameterError
 from ..telemetry import instruments as tm
+from ..telemetry.journal import JOURNAL
 from .deadline import DEGRADATION_LADDER
 from .faults import Clock
 
@@ -107,7 +108,13 @@ class CircuitBreaker:
     half-open probe whose outcome closes or re-opens it.
     """
 
-    def __init__(self, clock: Clock, threshold: int = 3, probation_seconds: float = 5.0) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        threshold: int = 3,
+        probation_seconds: float = 5.0,
+        name: Optional[str] = None,
+    ) -> None:
         if threshold < 1:
             raise InvalidParameterError(f"breaker threshold must be >= 1, got {threshold}")
         if probation_seconds <= 0:
@@ -117,27 +124,40 @@ class CircuitBreaker:
         self.clock = clock
         self.threshold = threshold
         self.probation_seconds = float(probation_seconds)
+        self.name = name
         self.failures = 0
         self.state = "closed"
         self._open_until = 0.0
 
+    def _transition(self, state: str) -> None:
+        """Change state, journaling only *actual* transitions."""
+        if state == self.state:
+            return
+        old, self.state = self.state, state
+        JOURNAL.emit(
+            "breaker." + state.replace("-", "_"),
+            backend=self.name,
+            previous=old,
+            failures=self.failures,
+        )
+
     def allow(self) -> bool:
         """May a request be routed to this backend right now?"""
         if self.state == "open" and self.clock.now() >= self._open_until:
-            self.state = "half-open"
+            self._transition("half-open")
         return self.state != "open"
 
     def record_success(self) -> None:
         self.failures = 0
-        self.state = "closed"
+        self._transition("closed")
 
     def record_failure(self) -> None:
         self.failures += 1
         # A failed half-open probe re-opens immediately; a closed breaker
         # opens only once the consecutive-failure threshold is reached.
         if self.state == "half-open" or self.failures >= self.threshold:
-            self.state = "open"
             self._open_until = self.clock.now() + self.probation_seconds
+            self._transition("open")
 
 
 @dataclass
@@ -206,6 +226,13 @@ class AdmissionController:
             self.counters["rejected"] += 1
             self.counters["rejected_concurrency"] += 1
             tm.ADMISSION_SHEDS.labels(method).inc()
+            tm.slo_record(outcome="shed")
+            JOURNAL.emit(
+                "shed",
+                reason="concurrency",
+                method=method,
+                in_flight=self.in_flight,
+            )
             raise AdmissionRejectedError(
                 f"concurrency cap reached ({self.in_flight} in flight, "
                 f"cap {self.config.max_concurrent})",
@@ -223,6 +250,8 @@ class AdmissionController:
         self.counters["rejected"] += 1
         self.counters["rejected_rate"] += 1
         tm.ADMISSION_SHEDS.labels(method).inc()
+        tm.slo_record(outcome="shed")
+        JOURNAL.emit("shed", reason="rate", method=method)
         cheapest = rungs[-1]
         raise AdmissionRejectedError(
             f"query load exceeds capacity; {method!r} (and every cheaper "
@@ -252,6 +281,7 @@ class AdmissionController:
                     self.clock,
                     threshold=self.config.breaker_threshold,
                     probation_seconds=self.config.breaker_probation_seconds,
+                    name=backend,
                 )
             return self._breakers[backend]
 

@@ -19,8 +19,8 @@ its constructor and releases it on close).  Properties that matter here:
   recover the same directory without the dead object ever closing — the
   same OS process may hold the lock any number of times.  Only a
   *different* process is refused.
-* **Informative refusal**: the holder writes ``{pid, created}`` into the
-  lock file, so :class:`~repro.core.errors.StateDirLockedError` (CLI
+* **Informative refusal**: the holder writes ``{pid, created,
+  created_monotonic, hostname}`` into the lock file, so :class:`~repro.core.errors.StateDirLockedError` (CLI
   exit code 11) can say who owns the directory.
 
 The ``LOCK`` file itself is never deleted (unlinking a lock file is the
@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import threading
 import time
 from typing import Dict, Optional
@@ -127,16 +128,25 @@ def acquire_state_dir_lock(state_dir: str) -> StateDirLock:
                     holder = _read_holder(path) or {}
                     raise StateDirLockedError(
                         f"state directory {state_dir!r} is locked by another "
-                        f"process (pid {holder.get('pid', 'unknown')}); two "
+                        f"process (pid {holder.get('pid', 'unknown')} on "
+                        f"{holder.get('hostname', 'unknown host')}); two "
                         "servers must never append to the same WAL",
                         holder=holder,
                     ) from exc
             # Advertise ourselves for the error message of the next loser.
+            # ``created`` (wall clock) can jump under NTP steps; the
+            # monotonic twin lets diagnostics compute a trustworthy hold
+            # age, and the hostname disambiguates network filesystems.
             os.ftruncate(fd, 0)
             os.write(
                 fd,
                 json.dumps(
-                    {"pid": os.getpid(), "created": time.time()}
+                    {
+                        "pid": os.getpid(),
+                        "created": time.time(),
+                        "created_monotonic": time.monotonic(),
+                        "hostname": socket.gethostname(),
+                    }
                 ).encode("utf-8"),
             )
         except StateDirLockedError:

@@ -71,6 +71,7 @@ from ..core.errors import (
 )
 from ..telemetry import TELEMETRY
 from ..telemetry import instruments as tm
+from ..telemetry.journal import JOURNAL
 from .admission import AdmissionConfig, AdmissionController, CircuitBreaker
 from .faults import FaultInjector, InjectedCrashError
 from .validation import ReliabilityConfig
@@ -631,6 +632,13 @@ class ReplicationGroup:
         old.demote()
         tm.FAILOVERS.inc()
         tm.REPLICATION_EPOCH.set(new_epoch)
+        JOURNAL.emit(
+            "failover",
+            new_epoch=new_epoch,
+            promoted=replica.name,
+            applied_lsn=replica.applied_lsn,
+        )
+        JOURNAL.update_context(epoch=new_epoch)
         self.coordinator.note_heartbeat()
         self.pump()
         return self.primary

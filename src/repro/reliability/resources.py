@@ -52,6 +52,7 @@ from typing import Callable, List, Optional, Tuple
 from ..core.errors import WALWriteError
 from ..telemetry import TELEMETRY
 from ..telemetry import instruments as tm
+from ..telemetry.journal import JOURNAL
 from .validation import ResourceConfig
 
 __all__ = [
@@ -306,6 +307,7 @@ class ResourceManager:
     def _event(self, name: str) -> None:
         self.events[name] = self.events.get(name, 0) + 1
         tm.RESOURCE_EVENTS.labels(name).inc()
+        JOURNAL.emit("resource." + name)
 
     def usage(self) -> int:
         total, segments = state_dir_usage(self.manager.state_dir)

@@ -26,13 +26,21 @@ Acked writes are tracked: ``max_acked_lsn`` is the highest LSN the
 server acknowledged to *this* client, which is exactly the quantity the
 "no acked report lost across a connection reset" oracle compares to the
 primary's durable WAL position.
+
+With ``ClientConfig.trace_sample = N``, one in every N logical
+operations carries a trace envelope (see :mod:`.protocol`) that survives
+retries and redirects; the success frame's server-side span tree is
+stitched under the client's own span into :attr:`ResilientClient.traces`
+and journaled as a ``client_trace`` event — the raw material of
+``repro trace``.
 """
 
 from __future__ import annotations
 
 import random
 import socket
-from collections import Counter
+import time
+from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,7 +52,13 @@ from ..core.errors import (
 )
 from ..reliability.admission import CircuitBreaker
 from ..reliability.faults import Clock, MonotonicClock
-from .protocol import DEFAULT_MAX_FRAME, read_frame_sync, write_frame_sync
+from ..telemetry import JOURNAL, new_span_id, new_trace_id
+from .protocol import (
+    DEFAULT_MAX_FRAME,
+    make_trace_envelope,
+    read_frame_sync,
+    write_frame_sync,
+)
 
 __all__ = ["ClientConfig", "ResilientClient", "WireError"]
 
@@ -84,6 +98,11 @@ class ClientConfig:
     seed: Optional[int] = None  # jitter rng seed (None = entropy)
     breaker_threshold: int = 3
     breaker_probation_seconds: float = 1.0
+    # end-to-end tracing: sample 1 of every N requests (0 = off).  The
+    # envelope is attached once per *logical* operation and rides every
+    # retry and redirect unchanged — one op, one trace.
+    trace_sample: int = 0
+    trace_buffer: int = 32  # stitched traces retained on the client
 
 
 class ResilientClient:
@@ -112,6 +131,10 @@ class ResilientClient:
         self.acked_reports = 0
         self.sheds_missing_retry_after = 0
         self.retry_after_honored: List[float] = []
+        self._trace_counter = 0
+        #: stitched client->server span trees of sampled requests,
+        #: newest last (bounded by ``config.trace_buffer``)
+        self.traces: deque = deque(maxlen=max(1, self.config.trace_buffer))
 
     # ------------------------------------------------------------------
     # connection management
@@ -259,6 +282,69 @@ class ResilientClient:
             code=code, frame=frame,
         )
 
+    def _sample_trace(self, message: dict) -> Tuple[dict, Optional[str], Optional[str]]:
+        """Attach a trace envelope to 1/N logical operations.
+
+        Returns ``(message, trace_id, client_span_id)`` — the message is
+        a copy when an envelope was attached, so the caller's dict is
+        never mutated.  The envelope stays on the message across every
+        retry and redirect: one logical op, one trace.
+        """
+        if self.config.trace_sample <= 0:
+            return message, None, None
+        index = self._trace_counter
+        self._trace_counter += 1
+        if index % self.config.trace_sample != 0:
+            return message, None, None
+        trace_id = new_trace_id()
+        client_span_id = new_span_id()
+        message = dict(message)
+        message["trace"] = make_trace_envelope(
+            trace_id, parent_id=client_span_id, sampled=True
+        )
+        return message, trace_id, client_span_id
+
+    def _stitch_trace(
+        self,
+        trace_id: str,
+        client_span_id: str,
+        message: dict,
+        frame: dict,
+        endpoint: Endpoint,
+        attempts: int,
+        duration_seconds: float,
+    ) -> dict:
+        """Join the server's span tree under the client's own span."""
+        server_tree = frame.get("trace")
+        stitched = {
+            "name": "client_request",
+            "trace_id": trace_id,
+            "span_id": client_span_id,
+            "parent_id": None,
+            "duration_seconds": duration_seconds,
+            "attrs": {
+                "op": str(message.get("op", "?")),
+                "attempts": attempts,
+                "endpoint": f"{endpoint[0]}:{endpoint[1]}",
+            },
+            "stages": {},
+            "children": (
+                [server_tree] if isinstance(server_tree, dict) and server_tree
+                else []
+            ),
+        }
+        self.traces.append(stitched)
+        self.stats["traces_sampled"] += 1
+        JOURNAL.emit(
+            "client_trace",
+            trace_id=trace_id,
+            op=str(message.get("op", "?")),
+            attempts=attempts,
+            duration_ms=round(duration_seconds * 1000.0, 3),
+            trace=stitched,
+        )
+        return stitched
+
     def request(self, message: dict) -> dict:
         """Send one request, riding out every retryable failure.
 
@@ -266,6 +352,8 @@ class ResilientClient:
         unretryable structured errors and :class:`RetriesExhaustedError`
         when the attempt budget runs dry.
         """
+        message, trace_id, client_span_id = self._sample_trace(message)
+        t0 = time.perf_counter()
         last_error: Optional[Exception] = None
         for attempt in range(self.config.max_attempts):
             endpoint = self._pick_endpoint()
@@ -292,6 +380,11 @@ class ResilientClient:
             breaker.record_success()
             if frame.get("ok"):
                 self._note_epoch(frame)
+                if trace_id is not None:
+                    self._stitch_trace(
+                        trace_id, client_span_id, message, frame, endpoint,
+                        attempt + 1, time.perf_counter() - t0,
+                    )
                 return frame
             last_error = WireError(
                 str(frame.get("message", "")), str(frame.get("error", "")),

@@ -26,6 +26,7 @@ lsn`` is the zero-acked-write-loss criterion, and it must hold even when
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 import threading
@@ -34,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import ClientError, InvalidParameterError, ServingError
+from ..telemetry import render_span_tree
 from .client import ClientConfig, ResilientClient
 
 __all__ = [
@@ -75,6 +77,7 @@ class LoadTestConfig:
                                       # the per-cell refinement regime
     max_failure_ratio: float = 0.0  # ops allowed to exhaust retries
     kill_primary_at: Optional[float] = None  # seconds into the run
+    trace_sample: int = 0  # sample 1-in-N ops for distributed tracing
 
     def validate(self) -> None:
         if self.mix not in MIXES:
@@ -114,6 +117,7 @@ class LoadTestResult:
     sheds_missing_retry_after: int = 0
     retries: int = 0
     client_stats: Dict[str, int] = field(default_factory=dict)
+    traces: List[dict] = field(default_factory=list)  # stitched, sampled
 
     @property
     def acked_write_loss(self) -> int:
@@ -151,6 +155,13 @@ class LoadTestResult:
     def ok(self) -> bool:
         return all(self.slo_verdicts().values())
 
+    @property
+    def worst_trace(self) -> Optional[dict]:
+        """The slowest stitched trace sampled during the run, if any."""
+        if not self.traces:
+            return None
+        return max(self.traces, key=lambda t: t.get("duration_seconds", 0.0))
+
     def to_dict(self) -> dict:
         return {
             "ok": self.ok,
@@ -181,6 +192,8 @@ class LoadTestResult:
                 "verdicts": self.slo_verdicts(),
             },
             "client_stats": dict(self.client_stats),
+            "traces_sampled": len(self.traces),
+            "worst_trace": self.worst_trace,
         }
 
     def summary(self) -> str:
@@ -209,6 +222,17 @@ class LoadTestResult:
         )
         lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'} "
                      f"{self.slo_verdicts()}")
+        if self.traces:
+            lines.append(f"  traces sampled: {len(self.traces)}")
+        # an SLO miss with sampled traces gets its worst offender printed
+        # stitched — the first question ("where did the time go?") is
+        # answered without leaving the loadtest output
+        worst = self.worst_trace
+        if worst is not None and not self.ok:
+            lines.append(
+                f"  worst sampled trace ({worst.get('trace_id', '?')}):"
+            )
+            lines.extend("    " + line for line in render_span_tree(worst))
         return "\n".join(lines)
 
 
@@ -352,6 +376,10 @@ def run_loadtest(
         connect_timeout=2.0, request_timeout=10.0, max_attempts=10,
         backoff_base=0.02, backoff_cap=0.5, seed=config.seed,
     )
+    if config.trace_sample and not client_config.trace_sample:
+        client_config = dataclasses.replace(
+            client_config, trace_sample=config.trace_sample
+        )
 
     workers: List[_Worker] = []
     if config.mode == "open":
@@ -409,6 +437,7 @@ def run_loadtest(
         result.sheds_honored += client.stats.get("sheds_honored", 0)
         result.sheds_missing_retry_after += client.sheds_missing_retry_after
         result.retries += client.stats.get("retries", 0)
+        result.traces.extend(client.traces)
         for key, value in client.stats.items():
             merged_stats[key] = merged_stats.get(key, 0) + value
     result.client_stats = merged_stats

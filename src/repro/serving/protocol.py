@@ -18,6 +18,25 @@ Requests carry ``op`` plus op-specific fields::
     {"op": "drain"}                       # begin graceful drain
     {"op": "status"}                      # replication topology (groups)
 
+Any request may additionally carry a **trace envelope**::
+
+    {"op": "fr_query", ..., "trace": {"trace_id": "00001f4a00000003",
+                                      "parent_id": "00000000000b",
+                                      "sampled": true}}
+
+``trace_id`` names the distributed trace this request belongs to (the
+originating client mints it pid-prefixed — see
+:func:`repro.telemetry.tracing.new_trace_id`); ``parent_id`` is the
+caller's span, which the server parents its dispatch span under; and
+``sampled`` asks the server to return its span tree.  The client keeps
+the *same* envelope across retries and redirects, so one logical
+operation is one trace no matter how many endpoints it touched.  The
+server adopts the envelope into its thread-local tracer before
+dispatching; for ``sampled`` requests the success frame carries a
+``trace`` field — the server-side span tree (``Span.to_dict`` shape) —
+which the client stitches under its own client span.  Malformed
+envelopes are ignored, never an error: tracing is advisory.
+
 Responses always carry ``ok``.  Success frames add op-specific payload
 plus ``epoch`` (the fencing epoch that served the request — the client's
 re-discovery signal).  Error frames look like::
@@ -53,6 +72,8 @@ __all__ = [
     "read_frame_sync",
     "write_frame_sync",
     "read_frame_async",
+    "make_trace_envelope",
+    "parse_trace_envelope",
 ]
 
 LENGTH_PREFIX = struct.Struct(">I")
@@ -73,6 +94,34 @@ ERROR_CODES = (
     "query_failed",     # evaluation failed; not retryable as-is
     "internal",         # unexpected server-side failure
 )
+
+
+def make_trace_envelope(
+    trace_id: str, parent_id: Optional[str] = None, sampled: bool = True
+) -> dict:
+    """Build the optional ``trace`` field of a request frame."""
+    envelope = {"trace_id": str(trace_id), "sampled": bool(sampled)}
+    if parent_id is not None:
+        envelope["parent_id"] = str(parent_id)
+    return envelope
+
+
+def parse_trace_envelope(message: dict) -> Optional[Tuple[str, Optional[str], bool]]:
+    """Extract ``(trace_id, parent_id, sampled)`` from a request frame.
+
+    Returns ``None`` for absent or malformed envelopes — tracing is
+    advisory, so garbage degrades to "untraced", never to an error.
+    """
+    envelope = message.get("trace")
+    if not isinstance(envelope, dict):
+        return None
+    trace_id = envelope.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    parent_id = envelope.get("parent_id")
+    if parent_id is not None and not isinstance(parent_id, str):
+        parent_id = None
+    return trace_id, parent_id, bool(envelope.get("sampled"))
 
 
 def encode_frame(message: dict, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:

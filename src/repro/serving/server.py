@@ -61,8 +61,14 @@ from ..core.errors import (
     ServingError,
     StalenessExceededError,
 )
+from ..telemetry import NOOP_SPAN, TELEMETRY
 from ..telemetry import instruments as tm
-from .protocol import DEFAULT_MAX_FRAME, encode_frame, read_frame_async
+from .protocol import (
+    DEFAULT_MAX_FRAME,
+    encode_frame,
+    parse_trace_envelope,
+    read_frame_async,
+)
 
 __all__ = ["ServingConfig", "PDRTCPServer", "ServerThread"]
 
@@ -390,8 +396,10 @@ class PDRTCPServer:
         except InvalidParameterError as exc:
             return self._error_frame("bad_request", str(exc))
         except QueryError as exc:
+            tm.slo_record(outcome="error")
             return self._error_frame("query_failed", str(exc))
         except ReproError as exc:
+            tm.slo_record(outcome="error")
             return self._error_frame("internal", f"{type(exc).__name__}: {exc}")
         except RuntimeError as exc:
             # the executor rejects work while shutting down
@@ -439,12 +447,29 @@ class PDRTCPServer:
     # backend operations (executor threads only)
     # ------------------------------------------------------------------
     def _backend_call(self, op: str, message: dict) -> dict:
+        envelope = parse_trace_envelope(message)
         if op in READ_OPS:
             self._state_lock.acquire_read()
         else:
             self._state_lock.acquire_write()
         try:
-            return self._dispatch_backend(op, message)
+            if envelope is None:
+                return self._dispatch_backend(op, message)
+            # This callable runs wholly on one executor worker thread
+            # (writer or reader pool), so adopting into the thread-local
+            # tracer here is what lets the backend's spans — group_query,
+            # query, the rungs, the refinement stages — survive the hop
+            # off the event loop and attach to the caller's trace.
+            trace_id, parent_id, sampled = envelope
+            tracer = TELEMETRY.tracer
+            with tracer.adopt(trace_id, parent_id):
+                with tracer.trace(
+                    "dispatch", op=op, pid=os.getpid(), role=self._role()
+                ) as dispatch_span:
+                    payload = self._dispatch_backend(op, message)
+            if sampled and dispatch_span is not NOOP_SPAN:
+                payload["trace"] = dispatch_span.to_dict()
+            return payload
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, ReproError):
                 raise

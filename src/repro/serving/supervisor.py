@@ -40,7 +40,12 @@ Policy decisions worth stating:
 Every state transition is emitted as one machine-readable stdout line,
 ``supervise: event=<name> k=v ...`` (same convention as ``serve``'s
 ``port=N``), so the kill-matrix harness and shell scripts parse the
-supervisor the way they parse the server.
+supervisor the way they parse the server.  The same transitions also
+land as ``supervise.<event>`` records in the structured ops journal
+(``<state-dir>/journal/`` when the child runs with ``--state-dir``),
+stamped with the epoch and recovery generation of the last ready child —
+``repro journal --event supervise.exit`` shows every crash next to the
+failovers and read-only flips it caused.
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ from collections import deque
 from typing import IO, List, Optional, Sequence
 
 from ..reliability.crashpoints import ENV_AFTER, ENV_SITE, ENV_TORN
+from ..telemetry import Journal
 from ..telemetry import instruments as tm
 from .protocol import read_frame_sync, write_frame_sync
 
@@ -79,6 +85,17 @@ EXIT_CRASH_LOOP = 12
 NON_RETRYABLE_EXITS = (0, 2, 8, 11)
 
 _PORT_RE = re.compile(r"^port=(\d+)$")
+
+
+def _state_dir_from_args(serve_args: Sequence[str]) -> Optional[str]:
+    """The ``--state-dir`` value forwarded to the child, if any."""
+    args = list(serve_args)
+    for index, arg in enumerate(args):
+        if arg == "--state-dir" and index + 1 < len(args):
+            return args[index + 1]
+        if arg.startswith("--state-dir="):
+            return arg.split("=", 1)[1]
+    return None
 
 
 @dataclasses.dataclass
@@ -156,6 +173,17 @@ class Supervisor:
         self._ready = threading.Event()
         self._rng = random.Random(config.seed)
         self._thread: Optional[threading.Thread] = None
+        # Every `supervise:` stdout line also lands in the ops journal.
+        # The supervisor owns its *own* Journal (not the process global):
+        # tests run several supervisors in one process, and the serve
+        # child binds the shared journal directory from its own process
+        # anyway — per-pid segment files keep the two apart.
+        self.journal = Journal()
+        state_dir = _state_dir_from_args(config.serve_args)
+        if state_dir:
+            self.journal.bind(
+                os.path.join(state_dir, "journal"), role="supervisor"
+            )
 
     # ------------------------------------------------------------------
     # public surface
@@ -305,6 +333,10 @@ class Supervisor:
             health = self._probe()
             if health is not None and health.get("ready"):
                 self._ready.set()
+                self.journal.update_context(
+                    epoch=health.get("epoch"),
+                    generation=health.get("generation"),
+                )
                 self._emit(
                     "ready", pid=child.process.pid, port=port,
                     epoch=health.get("epoch"),
@@ -394,6 +426,16 @@ class Supervisor:
     # status lines
     # ------------------------------------------------------------------
     def _emit(self, event: str, **fields) -> None:
+        """One transition, two sinks: the machine-readable stdout line
+        (the kill-matrix harness and shell scripts parse these) and a
+        ``supervise.<event>`` record in the ops journal."""
+        self.journal.emit(
+            f"supervise.{event}",
+            # the `pid` field of these lines is the *child's* pid; the
+            # record envelope's `pid` stays the supervisor's own
+            **{("child_pid" if k == "pid" else k): v
+               for k, v in fields.items() if v is not None},
+        )
         parts = [f"supervise: event={event}"]
         parts.extend(
             f"{key}={value}" for key, value in fields.items() if value is not None

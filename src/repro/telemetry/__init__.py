@@ -41,6 +41,7 @@ from .exporters import (
     save_snapshot,
     serve_metrics,
 )
+from .journal import JOURNAL, Journal, read_journal
 from .registry import (
     COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -50,8 +51,16 @@ from .registry import (
     MetricFamily,
     MetricsRegistry,
 )
+from .slo import SLO, SLOMonitor
 from .slowlog import SlowQueryEntry, SlowQueryLog
-from .tracing import NOOP_SPAN, Span, Tracer
+from .tracing import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+    render_span_tree,
+)
 
 __all__ = [
     "Telemetry",
@@ -64,8 +73,16 @@ __all__ = [
     "Tracer",
     "Span",
     "NOOP_SPAN",
+    "new_span_id",
+    "new_trace_id",
+    "render_span_tree",
     "SlowQueryLog",
     "SlowQueryEntry",
+    "Journal",
+    "JOURNAL",
+    "read_journal",
+    "SLOMonitor",
+    "SLO",
     "MetricsHTTPHandler",
     "serve_metrics",
     "render_prometheus",
@@ -102,15 +119,20 @@ class Telemetry:
         """Zero all metric values and drop slow-log entries, in place."""
         self.registry.reset()
         self.slow_queries.clear()
+        SLO.reset()
 
     def note_query(self, span, result, *, requested_method: str) -> None:
-        """Offer a finished *root* query span to the slow-query log.
+        """Offer a finished *local-root* query span to the slow-query log.
 
         Nested spans (a replica query inside a group trace) are skipped —
-        the root owner offers the whole trace once, so one served query
-        never produces two exemplars.
+        the local-root owner offers the whole trace once, so one served
+        query never produces two exemplars.  A local root is a true root
+        or the first span under an adopted wire boundary (see
+        :mod:`.tracing`) — queries arriving over TCP still get exemplars.
+        Retained entries carry the trace id and a ``slow_query`` journal
+        seq so ``repro trace`` can join log, journal and span tree.
         """
-        if span is NOOP_SPAN or not span.is_root:
+        if span is NOOP_SPAN or not (span.local_root or span.is_root):
             return
         query = result.query
         if query is None:
@@ -118,19 +140,30 @@ class Telemetry:
         if not self.slow_queries.would_retain(span.duration):
             self.slow_queries.note_skipped()
             return  # fast path: don't serialize trees that can't be retained
-        self.slow_queries.offer(
-            SlowQueryEntry(
-                duration_seconds=span.duration,
+        entry = SlowQueryEntry(
+            duration_seconds=span.duration,
+            method=result.stats.method,
+            requested_method=requested_method,
+            qt=query.qt,
+            l=query.l,
+            rho=query.rho,
+            degraded=result.degraded,
+            served_by=result.served_by,
+            trace=span.to_dict(),
+            trace_id=span.trace_id,
+        )
+        if self.slow_queries.offer(entry):
+            entry.journal_seq = JOURNAL.emit(
+                "slow_query",
+                trace_id=span.trace_id,
+                duration_ms=round(span.duration * 1000.0, 3),
                 method=result.stats.method,
                 requested_method=requested_method,
                 qt=query.qt,
                 l=query.l,
                 rho=query.rho,
                 degraded=result.degraded,
-                served_by=result.served_by,
-                trace=span.to_dict(),
             )
-        )
 
 
 def _env_enabled() -> bool:

@@ -48,6 +48,13 @@ REQUIRED_FAMILIES = (
     "repro_histogram_cache_hits_total",
     "repro_histogram_cache_hit_ratio",
     "repro_admission_sheds_total",
+    # SLO burn/budget gauges are (re)derived by an on_collect hook at
+    # every scrape, so they always carry samples; the events counter is
+    # labeled and materialises with the first served query, which every
+    # instrumented deployment's probe workload produces
+    "repro_slo_events_total",
+    "repro_slo_burn_rate",
+    "repro_slo_budget_remaining",
     # unlabeled resource gauges exist (at zero) from process start;
     # repro_resource_events_total is labeled and only materialises under
     # actual resource pressure, so it is not required of every scrape

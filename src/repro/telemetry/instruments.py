@@ -12,8 +12,11 @@ use; unlabeled ones exist (at zero) from process start.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from . import TELEMETRY
 from .registry import COUNT_BUCKETS
+from .slo import SLO
 
 _reg = TELEMETRY.registry
 
@@ -159,6 +162,44 @@ ADMISSION_SHEDS = _reg.counter(
     "Queries shed at the front door, by requested cost class",
     labelnames=("method",),
 )
+
+# ----------------------------------------------------------------------
+# SLO error budget (telemetry.slo)
+# ----------------------------------------------------------------------
+SLO_EVENTS = _reg.counter(
+    "repro_slo_events_total",
+    "Query outcomes as the SLO monitor classified them",
+    labelnames=("outcome",),  # ok | slow | error | shed
+)
+SLO_BURN_RATE = _reg.gauge(
+    "repro_slo_burn_rate",
+    "Error-budget burn rate per rolling window (1.0 = exactly on budget)",
+    labelnames=("window",),  # 5s | 60s | 300s
+)
+SLO_BUDGET_REMAINING = _reg.gauge(
+    "repro_slo_budget_remaining",
+    "Unspent fraction of the error budget per rolling window",
+    labelnames=("window",),
+)
+
+
+def slo_record(latency_seconds: Optional[float] = None, outcome: str = "ok") -> str:
+    """Record one query event against the SLO monitor and its counter."""
+    kind = SLO.record(latency_seconds=latency_seconds, outcome=outcome)
+    SLO_EVENTS.labels(kind).inc()
+    return kind
+
+
+def _export_slo() -> None:
+    for window, stats in SLO.snapshot().items():
+        label = f"{window}s"
+        SLO_BURN_RATE.labels(label).set(stats["burn_rate"])
+        SLO_BUDGET_REMAINING.labels(label).set(stats["budget_remaining"])
+
+
+# burn/budget are scrape-time derived values, like build identity
+_export_slo()
+_reg.on_collect(_export_slo)
 
 # ----------------------------------------------------------------------
 # caches and index maintenance

@@ -1,0 +1,219 @@
+"""Multi-window SLO error-budget tracking with burn-rate alerts.
+
+Every served query lands here as one *event* with an outcome:
+
+* ``ok``    — answered within the latency SLO,
+* ``slow``  — answered, but over the latency SLO,
+* ``error`` — failed outright,
+* ``shed``  — rejected by admission control.
+
+``slow``/``error``/``shed`` all consume error budget.  The monitor keeps
+one-second ring buckets and answers, for each window (5 s / 1 m / 5 m by
+default), the bad-event fraction and the **burn rate** — bad fraction
+divided by the error budget ``1 - objective``.  Burn rate 1.0 means the
+budget is being consumed exactly as fast as the SLO allows; the classic
+multi-window alert thresholds apply (fast burn ~14.4x confirmed on the
+two short windows, slow burn ~6x on the long window — the Google SRE
+workbook numbers, scaled to this harness's short windows).
+
+``budget_remaining`` per window is ``max(0, 1 - burn_rate)`` — the
+fraction of that window's budget still unspent (it is the burn rate's
+complement, exported separately because it is the number an operator
+glances at in ``repro top``).
+
+Threshold *crossings* — entering or leaving fast/slow burn — are checked
+at most once per second on the record path and journaled
+(``slo.fast_burn`` / ``slo.slow_burn`` / ``slo.burn_ok``), so a budget
+fire leaves a timestamped trail next to the sheds and failovers that
+caused it.  A ``min_events`` floor keeps one unlucky query in an idle
+window from sounding the alarm.
+
+The clock is injectable (``time.monotonic`` by default) so tests can
+drive the window math against a brute-force oracle deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from .journal import JOURNAL
+
+__all__ = ["SLOMonitor", "SLO", "BAD_OUTCOMES"]
+
+BAD_OUTCOMES = ("slow", "error", "shed")
+
+#: Default latency SLO matches the loadtest query SLO default (600 ms).
+DEFAULT_LATENCY_SLO_SECONDS = 0.600
+DEFAULT_OBJECTIVE = 0.99
+DEFAULT_WINDOWS = (5, 60, 300)
+DEFAULT_FAST_BURN = 14.4
+DEFAULT_SLOW_BURN = 6.0
+
+
+class SLOMonitor:
+    """Rolling multi-window error-budget tracker over query outcomes."""
+
+    def __init__(
+        self,
+        *,
+        objective: float = DEFAULT_OBJECTIVE,
+        latency_slo_seconds: float = DEFAULT_LATENCY_SLO_SECONDS,
+        windows: Sequence[int] = DEFAULT_WINDOWS,
+        fast_burn: float = DEFAULT_FAST_BURN,
+        slow_burn: float = DEFAULT_SLOW_BURN,
+        min_events: int = 10,
+        clock=time.monotonic,
+        journal=None,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        self.objective = objective
+        self.budget = 1.0 - objective
+        self.latency_slo_seconds = latency_slo_seconds
+        self.windows = tuple(sorted(int(w) for w in windows))
+        if not self.windows or self.windows[0] < 1:
+            raise ValueError(f"windows must be positive, got {windows}")
+        self.fast_burn = fast_burn
+        self.slow_burn = slow_burn
+        self.min_events = min_events
+        self.clock = clock
+        self.journal = journal if journal is not None else JOURNAL
+        self._lock = threading.Lock()
+        # Ring of one-second buckets [second, total, bad]; sized to the
+        # longest window plus the in-progress second.
+        self._size = self.windows[-1] + 1
+        self._buckets = [[-1, 0, 0] for _ in range(self._size)]
+        self._burning = {"fast": False, "slow": False}
+        self._last_check_sec = -1
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def classify(
+        self, latency_seconds: Optional[float], outcome: str
+    ) -> str:
+        """Resolve the recorded outcome: latency folds ``ok`` to ``slow``."""
+        if outcome == "ok" and latency_seconds is not None and (
+            latency_seconds > self.latency_slo_seconds
+        ):
+            return "slow"
+        return outcome
+
+    def record(
+        self,
+        latency_seconds: Optional[float] = None,
+        outcome: str = "ok",
+    ) -> str:
+        """Record one query event; returns the classified outcome."""
+        kind = self.classify(latency_seconds, outcome)
+        bad = kind in BAD_OUTCOMES
+        now = self.clock()
+        sec = int(now)
+        with self._lock:
+            bucket = self._buckets[sec % self._size]
+            if bucket[0] != sec:
+                bucket[0] = sec
+                bucket[1] = 0
+                bucket[2] = 0
+            bucket[1] += 1
+            if bad:
+                bucket[2] += 1
+            if sec != self._last_check_sec:
+                self._last_check_sec = sec
+                self._check_crossings_locked(sec)
+        return kind
+
+    # ------------------------------------------------------------------
+    # window math
+    # ------------------------------------------------------------------
+    def _window_counts_locked(self, window: int, sec: int) -> Tuple[int, int]:
+        """(total, bad) over the last ``window`` whole-second buckets,
+        including the in-progress second."""
+        total = 0
+        bad = 0
+        lo = sec - window + 1
+        for bucket in self._buckets:
+            if lo <= bucket[0] <= sec:
+                total += bucket[1]
+                bad += bucket[2]
+        return total, bad
+
+    def _burn_locked(self, window: int, sec: int) -> Tuple[float, int, int]:
+        total, bad = self._window_counts_locked(window, sec)
+        if total == 0:
+            return 0.0, total, bad
+        return (bad / total) / self.budget, total, bad
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[int, dict]:
+        """Per-window stats: total/bad counts, bad fraction, burn, budget."""
+        sec = int(self.clock() if now is None else now)
+        out: Dict[int, dict] = {}
+        with self._lock:
+            for window in self.windows:
+                burn, total, bad = self._burn_locked(window, sec)
+                out[window] = {
+                    "total": total,
+                    "bad": bad,
+                    "bad_fraction": (bad / total) if total else 0.0,
+                    "burn_rate": burn,
+                    "budget_remaining": max(0.0, 1.0 - burn),
+                }
+        return out
+
+    @property
+    def burning(self) -> Dict[str, bool]:
+        with self._lock:
+            return dict(self._burning)
+
+    # ------------------------------------------------------------------
+    # crossings
+    # ------------------------------------------------------------------
+    def _check_crossings_locked(self, sec: int) -> None:
+        short_burn, short_total, _ = self._burn_locked(self.windows[0], sec)
+        mid_window = self.windows[1] if len(self.windows) > 1 else self.windows[0]
+        mid_burn, mid_total, _ = self._burn_locked(mid_window, sec)
+        long_window = self.windows[-1]
+        long_burn, long_total, long_bad = self._burn_locked(long_window, sec)
+
+        # Fast burn: both short windows over threshold (two-window
+        # confirmation — a single hot second alone can't fire it).
+        fast = (
+            short_total >= self.min_events
+            and short_burn >= self.fast_burn
+            and mid_burn >= self.fast_burn
+        )
+        slow = long_total >= self.min_events and long_burn >= self.slow_burn
+        if fast != self._burning["fast"]:
+            self._burning["fast"] = fast
+            self.journal.emit(
+                "slo.fast_burn" if fast else "slo.burn_ok",
+                kind="fast",
+                window=self.windows[0],
+                burn_rate=round(short_burn, 3),
+                confirm_burn_rate=round(mid_burn, 3),
+            )
+        if slow != self._burning["slow"]:
+            self._burning["slow"] = slow
+            self.journal.emit(
+                "slo.slow_burn" if slow else "slo.burn_ok",
+                kind="slow",
+                window=long_window,
+                burn_rate=round(long_burn, 3),
+                bad=long_bad,
+                total=long_total,
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            for bucket in self._buckets:
+                bucket[0] = -1
+                bucket[1] = 0
+                bucket[2] = 0
+            self._burning = {"fast": False, "slow": False}
+            self._last_check_sec = -1
+
+
+#: The process-wide monitor the query path and admission sheds feed.
+SLO = SLOMonitor()

@@ -35,6 +35,8 @@ class SlowQueryEntry:
     degraded: bool = False
     served_by: Optional[str] = None
     trace: Optional[dict] = None  # serialized span tree
+    trace_id: Optional[str] = None  # joins the ops journal and repro trace
+    journal_seq: Optional[int] = None  # seq of the slow_query journal record
     attrs: dict = field(default_factory=dict)
 
     def replay_kwargs(self) -> dict:
@@ -51,6 +53,8 @@ class SlowQueryEntry:
             "rho": self.rho,
             "degraded": self.degraded,
             "served_by": self.served_by,
+            "trace_id": self.trace_id,
+            "journal_seq": self.journal_seq,
             "attrs": dict(self.attrs),
             "trace": self.trace,
         }

@@ -37,16 +37,33 @@ Two recording styles:
 
 When tracing is disabled — or no trace is open — both styles degrade to a
 shared no-op span; the cost is one branch and one ``perf_counter`` pair.
+
+Traces also cross process boundaries: a wire request frame may carry a
+``trace`` envelope (see ``serving/protocol.py``), and the serving tier
+adopts it with ``with tracer.adopt(trace_id, parent_id):`` before
+dispatching — the next root-level ``trace()`` on that thread joins the
+remote trace instead of opening a fresh one, and is marked as a
+*boundary* whose direct children are *local roots* (the unit the
+slow-query log accounts).  :func:`new_trace_id` mints pid-prefixed ids
+for envelopes so two processes' counters cannot collide in the journal.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from typing import Dict, List, Optional
 
-__all__ = ["Span", "NOOP_SPAN", "Tracer"]
+__all__ = [
+    "Span",
+    "NOOP_SPAN",
+    "Tracer",
+    "new_trace_id",
+    "new_span_id",
+    "render_span_tree",
+]
 
 _ids = itertools.count(1)
 
@@ -55,12 +72,32 @@ def _next_id() -> str:
     return format(next(_ids), "012x")
 
 
+def new_span_id() -> str:
+    """A fresh span id from the process-local counter.
+
+    For callers (the wire client) that build span dicts by hand rather
+    than through :class:`Span`.
+    """
+    return _next_id()
+
+
+def new_trace_id() -> str:
+    """A trace id safe to propagate across processes.
+
+    In-process trace ids are bare counters — deterministic, but two
+    processes both start counting at 1, so an id that crosses a socket
+    is prefixed with the originating pid to keep journal joins unique.
+    """
+    return f"{os.getpid():08x}{next(_ids):08x}"
+
+
 class Span:
     """One timed node of a trace tree."""
 
     __slots__ = (
         "name", "trace_id", "span_id", "parent_id",
         "started", "duration", "attrs", "children", "stages",
+        "local_root", "boundary",
     )
 
     def __init__(
@@ -83,6 +120,15 @@ class Span:
         # order — the bit-for-bit twin of the instrumented code's own
         # ``total += dt`` accumulation.
         self.stages: Dict[str, dict] = {}
+        # ``local_root``: the top of this *process's* contribution to a
+        # trace — a true root, or the first span under a cross-process
+        # boundary.  The slow-query log offers local roots, so a query
+        # arriving over the wire (nested under an adopted "dispatch"
+        # span) still produces exactly one exemplar.
+        self.local_root = False
+        # ``boundary``: this span marks a cross-process adoption point;
+        # its direct children are local roots.
+        self.boundary = False
 
     @property
     def is_root(self) -> bool:
@@ -150,6 +196,8 @@ class _NoopSpan:
     children: List[Span] = []
     attrs: dict = {}
     stages: Dict[str, dict] = {}
+    local_root = False
+    boundary = False
 
     @property
     def is_root(self) -> bool:
@@ -198,6 +246,34 @@ class _SpanContext:
                 stack.pop()
 
 
+class _Adoption:
+    """Context manager installing a remote trace context on this thread.
+
+    While active, the *next* root-level :meth:`Tracer.trace` on this
+    thread joins the remote trace instead of starting a fresh one: the
+    span is created with the remote ``trace_id``, parented to the remote
+    ``parent_id``, and marked as a cross-process ``boundary`` so its
+    direct children count as local roots for slow-query accounting.
+    Nesting restores the previous remote context on exit, and the worker
+    thread is always left clean for the next request.
+    """
+
+    __slots__ = ("_tracer", "_remote", "_prev")
+
+    def __init__(self, tracer: "Tracer", trace_id: str, parent_id: Optional[str]) -> None:
+        self._tracer = tracer
+        self._remote = (trace_id, parent_id)
+
+    def __enter__(self) -> "_Adoption":
+        local = self._tracer._local
+        self._prev = getattr(local, "remote", None)
+        local.remote = self._remote
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._local.remote = self._prev
+
+
 class Tracer:
     """Thread-local span stack plus the enable switch."""
 
@@ -216,15 +292,34 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def adopt(self, trace_id: str, parent_id: Optional[str] = None) -> _Adoption:
+        """Adopt a remote trace context (from a wire envelope) on this thread."""
+        return _Adoption(self, trace_id, parent_id)
+
     def trace(self, name: str, **attrs) -> _SpanContext:
-        """Open a span: a root when no trace is active, a child otherwise."""
+        """Open a span: a root when no trace is active, a child otherwise.
+
+        With a remote context adopted (:meth:`adopt`), a root-level call
+        joins the remote trace: same ``trace_id``, parented to the remote
+        span, marked as a boundary so children are local roots.
+        """
         if not self.enabled:
             return _SpanContext(self, NOOP_SPAN)
         parent = self.current()
         if parent is None:
-            span = Span(name, trace_id=_next_id(), attrs=attrs or None)
+            remote = getattr(self._local, "remote", None)
+            if remote is not None:
+                span = Span(
+                    name, trace_id=remote[0], parent_id=remote[1],
+                    attrs=attrs or None,
+                )
+                span.boundary = True
+            else:
+                span = Span(name, trace_id=_next_id(), attrs=attrs or None)
+            span.local_root = True
         else:
             span = parent.child(name, attrs=attrs or None)
+            span.local_root = parent.boundary
         return _SpanContext(self, span)
 
     # ``span`` differs from ``trace`` only in intent: it never *starts*
@@ -259,3 +354,33 @@ class Tracer:
         for key, value in attrs.items():
             if isinstance(value, (int, float)):
                 acc[key] = acc.get(key, 0) + value
+
+
+def render_span_tree(tree: dict, indent: int = 0) -> List[str]:
+    """Pretty-print a serialized span tree (``Span.to_dict`` shape).
+
+    One line per span — name, duration, interesting attrs — with
+    aggregated stage leaves listed beneath their owning span.  Shared by
+    ``repro trace`` and the loadtest worst-trace report.
+    """
+    if not tree:
+        return []
+    pad = "  " * indent
+    dur = tree.get("duration_seconds", 0.0) or 0.0
+    attrs = tree.get("attrs") or {}
+    attr_text = " ".join(
+        f"{key}={value}" for key, value in sorted(attrs.items())
+    )
+    line = f"{pad}{tree.get('name', '?')}  {dur * 1000.0:.2f}ms"
+    if attr_text:
+        line += f"  [{attr_text}]"
+    lines = [line]
+    for name, acc in sorted((tree.get("stages") or {}).items()):
+        seconds = acc.get("seconds", 0.0)
+        count = acc.get("count", 0)
+        lines.append(
+            f"{pad}  - {name}  {seconds * 1000.0:.2f}ms  (x{count})"
+        )
+    for child in tree.get("children") or ():
+        lines.extend(render_span_tree(child, indent + 1))
+    return lines

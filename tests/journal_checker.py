@@ -1,0 +1,70 @@
+"""Validate ``repro journal --format json`` output piped on stdin.
+
+CI runs a probe workload with ``REPRO_JOURNAL_DIR`` set, dumps the
+journal as JSON, and pipes it here: the check is that every record
+carries the envelope fields with the right types, seqs are per-process
+monotonic, and events are non-empty strings.  Stdlib only — this runs
+in the metrics-smoke job before any dependency install.
+
+Exit 0 on a valid, non-empty journal; exit 1 with a reason otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+ENVELOPE = {"seq": int, "ts": float, "perf": float, "pid": int, "event": str}
+
+
+def check(records: object) -> str | None:
+    """Return an error string, or None if the journal dump is valid."""
+    if not isinstance(records, list):
+        return f"expected a JSON array, got {type(records).__name__}"
+    if not records:
+        return "journal is empty - the probe emitted nothing"
+    last_seq: dict[int, int] = {}
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            return f"record {i}: not an object"
+        for field, kind in ENVELOPE.items():
+            value = record.get(field)
+            if kind is float and isinstance(value, int):
+                value = float(value)
+            if not isinstance(value, kind):
+                return (
+                    f"record {i} ({record.get('event')!r}): field {field!r} "
+                    f"is {value!r}, expected {kind.__name__}"
+                )
+        if not record["event"]:
+            return f"record {i}: empty event name"
+        pid = record["pid"]
+        if record["seq"] <= last_seq.get(pid, 0):
+            return (
+                f"record {i}: seq {record['seq']} not monotonic for pid {pid}"
+            )
+        last_seq[pid] = record["seq"]
+    return None
+
+
+def main() -> int:
+    try:
+        records = json.load(sys.stdin)
+    except ValueError as exc:
+        print(f"journal_checker: stdin is not JSON: {exc}", file=sys.stderr)
+        return 1
+    error = check(records)
+    if error is not None:
+        print(f"journal_checker: {error}", file=sys.stderr)
+        return 1
+    pids = {r["pid"] for r in records}
+    events = {r["event"] for r in records}
+    print(
+        f"journal_checker: ok - {len(records)} records, "
+        f"{len(pids)} process(es), {len(events)} distinct event(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

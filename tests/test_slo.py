@@ -1,0 +1,159 @@
+"""SLO burn-rate monitor: window math vs a brute-force oracle, crossings.
+
+The monitor's ring buckets are an optimization over the obvious
+implementation — "keep every (second, outcome) event and count the last
+W seconds" — so the property test drives both against the same random
+event stream on a fake clock and demands identical (total, bad) counts
+per window, which pins the burn rates too.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.journal import Journal
+from repro.telemetry.slo import BAD_OUTCOMES, SLOMonitor
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_monitor(clock, **kwargs) -> SLOMonitor:
+    kwargs.setdefault("journal", Journal())
+    return SLOMonitor(clock=clock, **kwargs)
+
+
+def test_classify_folds_latency_into_slow():
+    monitor = make_monitor(FakeClock(), latency_slo_seconds=0.5)
+    assert monitor.classify(0.1, "ok") == "ok"
+    assert monitor.classify(0.7, "ok") == "slow"
+    assert monitor.classify(None, "ok") == "ok"
+    assert monitor.classify(0.1, "error") == "error"  # latency can't save it
+    assert monitor.classify(None, "shed") == "shed"
+
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    clock = FakeClock()
+    monitor = make_monitor(clock, objective=0.99, windows=(5, 60, 300))
+    for _ in range(99):
+        monitor.record(0.001, "ok")
+    monitor.record(outcome="error")
+    stats = monitor.snapshot()[5]
+    assert stats["total"] == 100 and stats["bad"] == 1
+    # 1% bad against a 1% budget = burn rate exactly 1.0
+    assert stats["bad_fraction"] == pytest.approx(0.01)
+    assert stats["burn_rate"] == pytest.approx(1.0)
+    assert stats["budget_remaining"] == pytest.approx(0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_events=st.integers(min_value=1, max_value=400),
+)
+def test_window_counts_match_brute_force_oracle(seed, n_events):
+    rng = random.Random(seed)
+    clock = FakeClock()
+    windows = (5, 30, 60)
+    monitor = make_monitor(clock, windows=windows)
+    events = []  # (second, bad) — the oracle's flat log
+    for _ in range(n_events):
+        clock.now += rng.choice([0.0, 0.1, 0.4, 1.0, 3.0, 7.0])
+        outcome = rng.choice(["ok", "ok", "ok", "slow", "error", "shed"])
+        monitor.record(outcome=outcome)
+        events.append((int(clock.now), outcome in BAD_OUTCOMES))
+    sec = int(clock.now)
+    snapshot = monitor.snapshot()
+    for window in windows:
+        lo = sec - window + 1
+        total = sum(1 for s, _ in events if lo <= s <= sec)
+        bad = sum(1 for s, b in events if lo <= s <= sec and b)
+        assert snapshot[window]["total"] == total, (window, seed)
+        assert snapshot[window]["bad"] == bad, (window, seed)
+        want_burn = (bad / total) / monitor.budget if total else 0.0
+        assert snapshot[window]["burn_rate"] == pytest.approx(want_burn)
+
+
+def test_old_buckets_age_out_of_every_window():
+    clock = FakeClock()
+    monitor = make_monitor(clock, windows=(5, 30, 60))
+    for _ in range(20):
+        monitor.record(outcome="error")
+    assert monitor.snapshot()[5]["bad"] == 20
+    clock.now += 61.0  # past the longest window
+    monitor.record(outcome="ok")
+    snapshot = monitor.snapshot()
+    for window in (5, 30, 60):
+        assert snapshot[window]["total"] == 1
+        assert snapshot[window]["bad"] == 0
+
+
+def test_fast_burn_crossing_requires_confirmation_and_journals():
+    clock = FakeClock()
+    journal = Journal()
+    monitor = make_monitor(
+        clock, windows=(5, 60, 300), journal=journal, min_events=10
+    )
+    # a hot five seconds: all errors, enough volume in both short windows
+    for _ in range(30):
+        monitor.record(outcome="error")
+        clock.now += 0.2
+    clock.now += 1.0
+    monitor.record(outcome="error")  # crossing check runs on a new second
+    assert monitor.burning["fast"]
+    events = [r["event"] for r in journal.recent()]
+    assert "slo.fast_burn" in events
+    # recovery: a quiet minute of successes clears the alarm
+    for _ in range(120):
+        monitor.record(0.001, "ok")
+        clock.now += 0.5
+    assert not monitor.burning["fast"]
+    events = [r["event"] for r in journal.recent()]
+    assert "slo.burn_ok" in events
+
+
+def test_min_events_floor_keeps_idle_windows_quiet():
+    clock = FakeClock()
+    journal = Journal()
+    monitor = make_monitor(clock, journal=journal, min_events=10)
+    # one unlucky query in an otherwise idle window: burn is huge but
+    # the floor keeps the alarm silent
+    monitor.record(outcome="error")
+    clock.now += 1.0
+    monitor.record(outcome="error")
+    assert not monitor.burning["fast"]
+    assert not monitor.burning["slow"]
+    assert all(
+        not r["event"].startswith("slo.") for r in journal.recent()
+    )
+
+
+def test_slow_burn_fires_on_the_long_window():
+    clock = FakeClock()
+    journal = Journal()
+    monitor = make_monitor(
+        clock, windows=(5, 60, 300), journal=journal, min_events=10
+    )
+    # sustained 10% errors over minutes: slow burn (10x budget) without
+    # the short-window intensity of a fast burn
+    for i in range(300):
+        monitor.record(outcome="error" if i % 10 == 0 else "ok")
+        clock.now += 1.0
+    assert monitor.burning["slow"]
+    assert "slo.slow_burn" in [r["event"] for r in journal.recent()]
+
+
+def test_record_returns_the_classified_outcome():
+    monitor = make_monitor(FakeClock(), latency_slo_seconds=0.5)
+    assert monitor.record(0.7, "ok") == "slow"
+    assert monitor.record(0.1, "ok") == "ok"
+    assert monitor.record(outcome="shed") == "shed"
